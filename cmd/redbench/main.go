@@ -1,0 +1,112 @@
+// Command redbench regenerates every table and figure of the paper's
+// evaluation and writes the rendered results to stdout (and optionally
+// to per-artifact files under -out).
+//
+// Usage:
+//
+//	redbench [-full] [-seed N] [-only fig7,fig9] [-out results/]
+//
+// Quick mode (default) runs scaled-down experiments in seconds; -full
+// runs near-paper-scale parameters (minutes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run near-paper-scale experiments (minutes)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	only := flag.String("only", "", "comma-separated artifact ids to run (e.g. fig7,fig9); empty = all")
+	out := flag.String("out", "", "directory to write per-artifact .txt files (optional)")
+	jsonOut := flag.Bool("json", false, "also write machine-readable .json files under -out")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: experiments.Quick, Seed: *seed}
+	if *full {
+		cfg.Scale = experiments.Full
+	}
+
+	type driver struct {
+		id  string
+		run func(experiments.Config) experiments.Result
+	}
+	drivers := []driver{
+		{"tableI", func(c experiments.Config) experiments.Result { return experiments.TableI(c) }},
+		{"fig2", func(c experiments.Config) experiments.Result { return experiments.Fig2(c) }},
+		{"fig3", func(c experiments.Config) experiments.Result { return experiments.Fig3(c) }},
+		{"fig4+fig5", func(c experiments.Config) experiments.Result { return experiments.Fig45(c) }},
+		{"fig6", func(c experiments.Config) experiments.Result { return experiments.Fig6(c) }},
+		{"fig7", func(c experiments.Config) experiments.Result { return experiments.Fig7(c) }},
+		{"fig9", func(c experiments.Config) experiments.Result { return experiments.Fig9(c) }},
+		{"fig10", func(c experiments.Config) experiments.Result { return experiments.Fig10(c) }},
+		{"fig11", func(c experiments.Config) experiments.Result { return experiments.Fig11(c) }},
+		{"fig12", func(c experiments.Config) experiments.Result { return experiments.Fig12(c) }},
+		{"ext-topology", func(c experiments.Config) experiments.Result { return experiments.TopoExt(c) }},
+		{"ext-interval", func(c experiments.Config) experiments.Result { return experiments.IntervalExt(c) }},
+		{"ext-nbody", func(c experiments.Config) experiments.Result { return experiments.NBodyExt(c) }},
+		{"ext-shapes", func(c experiments.Config) experiments.Result { return experiments.ShapesExt(c) }},
+		{"ext-precision", func(c experiments.Config) experiments.Result { return experiments.PrecisionExt(c) }},
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "redbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("redbench: scale=%s seed=%d\n", cfg.Scale, cfg.Seed)
+	for _, d := range drivers {
+		if len(wanted) > 0 && !wanted[d.id] && !anyPartWanted(wanted, d.id) {
+			continue
+		}
+		start := time.Now()
+		res := d.run(cfg)
+		text := res.String()
+		fmt.Printf("\n===== %s (%.1fs) =====\n%s\n", d.id, time.Since(start).Seconds(), text)
+		if *out != "" {
+			base := strings.ReplaceAll(d.id, "+", "_")
+			if err := os.WriteFile(filepath.Join(*out, base+".txt"), []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "redbench:", err)
+				os.Exit(1)
+			}
+			if *jsonOut {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "redbench: json:", err)
+					os.Exit(1)
+				}
+				if err := os.WriteFile(filepath.Join(*out, base+".json"), blob, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "redbench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+// anyPartWanted matches combined ids like "fig4+fig5" against either part.
+func anyPartWanted(wanted map[string]bool, id string) bool {
+	for _, part := range strings.Split(id, "+") {
+		if wanted[part] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+// Command treesim reduces a generated workload over varied reduction
+// trees and reports each algorithm's result spread — an interactive
+// version of the paper's Figs 6 and 7.
+//
+// Usage:
+//
+//	treesim -n 8192 -k inf -dr 32 -shape unbalanced -trees 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/sum"
+	"repro/internal/textplot"
+	"repro/internal/tree"
+)
+
+func main() {
+	n := flag.Int("n", 8192, "number of summands")
+	kStr := flag.String("k", "inf", "target condition number (number or 'inf')")
+	dr := flag.Int("dr", 32, "binary dynamic range")
+	shapeStr := flag.String("shape", "balanced", "tree shape: balanced, unbalanced, random, blocked, knomial")
+	trees := flag.Int("trees", 100, "number of permuted trees")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	k := math.Inf(1)
+	if *kStr != "inf" {
+		if _, err := fmt.Sscanf(*kStr, "%g", &k); err != nil {
+			fmt.Fprintf(os.Stderr, "treesim: bad -k %q\n", *kStr)
+			os.Exit(1)
+		}
+	}
+	var shape tree.Shape
+	switch *shapeStr {
+	case "balanced":
+		shape = tree.Balanced
+	case "unbalanced":
+		shape = tree.Unbalanced
+	case "random":
+		shape = tree.Random
+	case "blocked":
+		shape = tree.Blocked
+	case "knomial":
+		shape = tree.Knomial
+	default:
+		fmt.Fprintf(os.Stderr, "treesim: unknown shape %q\n", *shapeStr)
+		os.Exit(1)
+	}
+
+	xs := gen.Spec{N: *n, Cond: k, DynRange: *dr, Seed: *seed}.Generate()
+	ref := bigref.SumFloat64(xs)
+	fmt.Printf("workload: n=%d measured k=%.3g dr=%d; exact sum %.17g\n",
+		*n, metrics.CondNumber(xs), metrics.DynRange(xs), ref)
+	fmt.Printf("reducing over %d %s trees with permuted leaf assignments\n\n", *trees, shape)
+
+	labels := make([]string, 0, len(sum.PaperAlgorithms))
+	stats := make([]metrics.Stats, 0, len(sum.PaperAlgorithms))
+	var rows [][]string
+	for _, alg := range sum.PaperAlgorithms {
+		rng := fpu.NewRNG(*seed ^ uint64(alg)<<13)
+		sums := grid.AlgSpread(alg, shape, xs, *trees, rng)
+		st := metrics.ErrorStats(sums, ref)
+		labels = append(labels, alg.String())
+		stats = append(stats, st)
+		rows = append(rows, []string{
+			alg.String(),
+			fmt.Sprintf("%.3g", st.Max),
+			fmt.Sprintf("%.3g", st.StdDev),
+			fmt.Sprintf("%d", metrics.DistinctValues(sums)),
+		})
+	}
+	fmt.Print(textplot.Boxplot("error magnitude per tree", labels, stats, 60))
+	fmt.Println()
+	fmt.Print(textplot.Table([]string{"alg", "max err", "stddev", "distinct results"}, rows))
+}

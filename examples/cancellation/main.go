@@ -1,0 +1,73 @@
+// Cancellation tracking: the paper's Section IV-B argues that counting
+// cancellations (the CADNA/CESTAC approach) does not predict error.
+// This example instruments several summation orders of one mixed-sign
+// data set, prints cancellation severities next to true errors, and
+// surfaces a counterexample pair — more cancellations, less error.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/cestac"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/textplot"
+)
+
+func main() {
+	xs := gen.Uniform(1000, -1, 1, 99)
+	exact := repro.ExactSum(xs)
+	fmt.Printf("1000 uniform [-1,1] values, exact sum %.17g\n\n", exact)
+
+	type record struct {
+		counts [4]int
+		digits float64
+		err    float64
+	}
+	var recs []record
+	r := fpu.NewRNG(3)
+	work := append([]float64(nil), xs...)
+	for order := 0; order < 12; order++ {
+		r.Shuffle(work)
+		ctx := cestac.NewCtx(uint64(order))
+		v := ctx.SumStandard(work)
+		recs = append(recs, record{
+			counts: ctx.Counts(),
+			digits: v.SignificantDigits(),
+			err:    math.Abs(v.Mean() - exact),
+		})
+	}
+
+	var rows [][]string
+	for i, rec := range recs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", rec.counts[0]),
+			fmt.Sprintf("%d", rec.counts[1]),
+			fmt.Sprintf("%d", rec.counts[2]),
+			fmt.Sprintf("%d", rec.counts[3]),
+			fmt.Sprintf("%.1f", rec.digits),
+			fmt.Sprintf("%.3g", rec.err),
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"order", "cancels>=1", ">=2", ">=4", ">=8", "sig digits", "true error"}, rows))
+
+	// Find the paper's counterexample shape: order A with strictly more
+	// cancellations than order B but strictly less error.
+	for i := range recs {
+		for j := range recs {
+			if recs[i].counts[0] > recs[j].counts[0] && recs[i].err < recs[j].err &&
+				recs[j].counts[0] > 0 {
+				fmt.Printf("\ncounterexample: order %d has %.1fx the cancellations of order %d "+
+					"but only %.2fx the error -> counting cancellations does not predict error\n",
+					i+1, float64(recs[i].counts[0])/float64(recs[j].counts[0]),
+					j+1, recs[i].err/recs[j].err)
+				return
+			}
+		}
+	}
+	fmt.Println("\nno inversion pair in this small sample; rerun with another seed")
+}

@@ -1,0 +1,70 @@
+// Reproducible dot products: the reduction at the heart of BLAS (and of
+// ReproBLAS, where the paper's PR operator comes from). A residual
+// check r = b - A*x in an iterative solver computes dot products whose
+// terms nearly cancel; if the reduction order varies between runs, the
+// solver's convergence test flips between runs. This example shows the
+// ST dot product drifting across orders while the PR dot product stays
+// bitwise identical.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/fpu"
+	"repro/internal/sum"
+)
+
+func main() {
+	// Build two nearly-orthogonal vectors: huge matched components that
+	// cancel plus a tiny genuine signal.
+	r := fpu.NewRNG(7)
+	n := 100000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i+1 < n-1; i += 2 {
+		v := math.Ldexp(r.Float64()+0.5, r.Intn(20))
+		w := math.Ldexp(r.Float64()+0.5, r.Intn(20))
+		// Two consecutive terms contribute +vw and -vw: exact cancel.
+		a[i], b[i] = v, w
+		a[i+1], b[i+1] = v, -w
+	}
+	a[n-1], b[n-1] = 1.0, 3e-11 // the signal
+
+	exact := sum.DotExact(a, b)
+	fmt.Printf("dot product of %d-element vectors; exact value %.17g\n\n", n, exact)
+
+	perm := func(seed uint64) ([]float64, []float64) {
+		rr := fpu.NewRNG(seed)
+		p := rr.Perm(n)
+		pa := make([]float64, n)
+		pb := make([]float64, n)
+		for i, j := range p {
+			pa[i], pb[i] = a[j], b[j]
+		}
+		return pa, pb
+	}
+
+	fmt.Println("same vectors, five different term orders:")
+	fmt.Printf("%-6s  %-24s  %-24s\n", "order", "ST dot", "PR dot")
+	stSet := map[float64]bool{}
+	prSet := map[float64]bool{}
+	for seed := uint64(1); seed <= 5; seed++ {
+		pa, pb := perm(seed)
+		st := repro.Dot(repro.Standard, pa, pb)
+		pr := repro.Dot(repro.Prerounded, pa, pb)
+		stSet[st] = true
+		prSet[pr] = true
+		fmt.Printf("%-6d  %-24.17g  %-24.17g\n", seed, st, pr)
+	}
+	fmt.Printf("\nST: %d distinct values (sign may even flip) — a convergence test on this residual is nondeterministic\n", len(stSet))
+	fmt.Printf("PR: %d distinct value, error vs exact %.3g\n", len(prSet), math.Abs(firstKey(prSet)-exact))
+}
+
+func firstKey(m map[float64]bool) float64 {
+	for k := range m {
+		return k
+	}
+	return math.NaN()
+}

@@ -1,0 +1,88 @@
+// Package bigref provides arbitrary-precision reference sums and
+// error-vs-reference helpers. The paper computed its reference sums in
+// quad-double precision with GNU MPFR; we use math/big.Float at 256 bits
+// (>= quad-double) and, where exactness matters, the superacc package.
+package bigref
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/superacc"
+)
+
+// Prec is the working precision in bits (four times binary64's 53-bit
+// significand, rounded up — strictly more than quad-double).
+//
+// Adequacy bound: a running 256-bit sum represents every partial sum
+// exactly as long as dynamicRange + 53 + log2(n) <= 256; beyond that
+// (e.g. operands spanning more than ~180 bits with heavy cancellation)
+// use the exact superaccumulator oracle (SumFloat64 / superacc.Acc)
+// instead. The paper's quad-double MPFR reference has the same class of
+// limit at half this width.
+const Prec = 256
+
+// Sum returns the sum of xs computed in Prec-bit precision.
+func Sum(xs []float64) *big.Float {
+	acc := new(big.Float).SetPrec(Prec)
+	t := new(big.Float).SetPrec(Prec)
+	for _, x := range xs {
+		acc.Add(acc, t.SetFloat64(x))
+	}
+	return acc
+}
+
+// SumFloat64 returns the reference sum rounded to float64. For pure
+// float64 inputs this equals the exact, correctly rounded sum.
+func SumFloat64(xs []float64) float64 {
+	return superacc.Sum(xs)
+}
+
+// AbsSum returns sum(|x|) in Prec-bit precision.
+func AbsSum(xs []float64) *big.Float {
+	acc := new(big.Float).SetPrec(Prec)
+	t := new(big.Float).SetPrec(Prec)
+	for _, x := range xs {
+		t.SetFloat64(x)
+		acc.Add(acc, t.Abs(t))
+	}
+	return acc
+}
+
+// Err returns |computed - reference| as a float64, where reference is an
+// arbitrary-precision value. This is the error magnitude plotted
+// throughout the paper's figures.
+func Err(computed float64, reference *big.Float) float64 {
+	if math.IsNaN(computed) || math.IsInf(computed, 0) {
+		return math.Inf(1)
+	}
+	d := new(big.Float).SetPrec(Prec).SetFloat64(computed)
+	d.Sub(d, reference)
+	d.Abs(d)
+	f, _ := d.Float64()
+	return f
+}
+
+// ErrVsExact returns |computed - exactSum(xs)| using the exact
+// superaccumulator as the oracle.
+func ErrVsExact(computed float64, xs []float64) float64 {
+	var a superacc.Acc
+	a.AddSlice(xs)
+	ref := a.BigFloat(2200)
+	if ref == nil {
+		return math.Inf(1)
+	}
+	return Err(computed, ref)
+}
+
+// RelErr returns |computed - reference| / |reference|, or the absolute
+// error when the reference is zero.
+func RelErr(computed float64, reference *big.Float) float64 {
+	e := Err(computed, reference)
+	if reference.Sign() == 0 {
+		return e
+	}
+	r := new(big.Float).SetPrec(Prec).Abs(reference)
+	rf, _ := r.Float64()
+	return e / rf
+}

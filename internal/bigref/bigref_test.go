@@ -1,0 +1,70 @@
+package bigref
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpu"
+)
+
+func TestSumMatchesExactOracle(t *testing.T) {
+	r := fpu.NewRNG(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(80)-40)
+	}
+	bf := Sum(xs)
+	f, _ := bf.Float64()
+	if f != SumFloat64(xs) {
+		t.Errorf("big.Float sum %g disagrees with exact oracle %g", f, SumFloat64(xs))
+	}
+}
+
+func TestErrZeroForExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ref := Sum(xs)
+	if e := Err(10, ref); e != 0 {
+		t.Errorf("Err(exact) = %g, want 0", e)
+	}
+	if e := Err(10.5, ref); e != 0.5 {
+		t.Errorf("Err(10.5) = %g, want 0.5", e)
+	}
+}
+
+func TestErrNaNInf(t *testing.T) {
+	ref := Sum([]float64{1})
+	if !math.IsInf(Err(math.NaN(), ref), 1) {
+		t.Error("NaN should map to +Inf error")
+	}
+	if !math.IsInf(Err(math.Inf(-1), ref), 1) {
+		t.Error("Inf should map to +Inf error")
+	}
+}
+
+func TestAbsSum(t *testing.T) {
+	f, _ := AbsSum([]float64{1, -2, 3, -4}).Float64()
+	if f != 10 {
+		t.Errorf("AbsSum = %g, want 10", f)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	ref := Sum([]float64{4})
+	if got := RelErr(5, ref); got != 0.25 {
+		t.Errorf("RelErr = %g, want 0.25", got)
+	}
+	zero := Sum(nil)
+	if got := RelErr(0.5, zero); got != 0.5 {
+		t.Errorf("RelErr vs zero ref = %g, want absolute 0.5", got)
+	}
+}
+
+func TestErrVsExactCancellingSet(t *testing.T) {
+	xs := []float64{1e16, 1, -1e16}
+	// Standard left-to-right summation loses the 1.
+	st := (xs[0] + xs[1]) + xs[2]
+	e := ErrVsExact(st, xs)
+	if e != 1 {
+		t.Errorf("expected error 1 from absorbed term, got %g", e)
+	}
+}

@@ -1,0 +1,222 @@
+// Package cestac implements a stochastic-arithmetic cancellation tracker
+// in the style of CADNA/CESTAC, which the paper uses to count
+// cancellations and grade their severity for Fig 3.
+//
+// Each tracked value carries three concurrent samples; every arithmetic
+// operation randomly rounds each sample up or down (emulating the
+// directed-rounding perturbation of the CESTAC method). The divergence
+// of the samples estimates how many significant digits survive, and
+// each addition that loses leading digits is recorded as a cancellation
+// event whose severity is the number of decimal digits lost.
+package cestac
+
+import (
+	"math"
+
+	"repro/internal/fpu"
+)
+
+// samples is the number of concurrent perturbed executions (CESTAC
+// classically uses 2 or 3; CADNA uses 3).
+const samples = 3
+
+// studentT95 is the two-sided 95% Student-t quantile for samples-1 = 2
+// degrees of freedom, used in the significant-digit estimate.
+const studentT95 = 4.303
+
+// Value is a stochastically tracked float64.
+type Value struct {
+	s [samples]float64
+}
+
+// Ctx owns the random-rounding stream and the cancellation log of one
+// instrumented computation.
+type Ctx struct {
+	rng *fpu.RNG
+	// counts[d] is the number of additions that lost >= thresholds[d]
+	// decimal digits.
+	counts [len(Thresholds)]int
+	total  int // total cancellation events (>= 1 digit lost)
+	ops    int // instrumented additions
+}
+
+// Thresholds are the digit-loss severities reported by Fig 3's bars.
+var Thresholds = [4]int{1, 2, 4, 8}
+
+// NewCtx returns a context seeded for reproducible instrumentation.
+func NewCtx(seed uint64) *Ctx {
+	return &Ctx{rng: fpu.NewRNG(seed ^ 0xCE57AC)}
+}
+
+// FromFloat64 lifts an exact float64 into a tracked value.
+func (c *Ctx) FromFloat64(x float64) Value {
+	var v Value
+	for i := range v.s {
+		v.s[i] = x
+	}
+	return v
+}
+
+// randRound applies a random directed rounding to the already
+// round-to-nearest result s whose exact residual is e: half the time the
+// result is nudged to the representable neighbor in the residual's
+// direction, emulating round-toward-±infinity.
+func (c *Ctx) randRound(s, e float64) float64 {
+	if e == 0 || !c.rng.Bool() {
+		return s
+	}
+	if e > 0 {
+		return fpu.NextUp(s)
+	}
+	return fpu.NextDown(s)
+}
+
+// Add returns a+b, randomly rounded per sample, recording a cancellation
+// event if leading digits are lost.
+func (c *Ctx) Add(a, b Value) Value {
+	c.recordCancellation(a.s[0], b.s[0])
+	var out Value
+	for i := range out.s {
+		s, e := fpu.TwoSum(a.s[i], b.s[i])
+		out.s[i] = c.randRound(s, e)
+	}
+	c.ops++
+	return out
+}
+
+// AddFloat64 folds an exact operand into a tracked value.
+func (c *Ctx) AddFloat64(a Value, x float64) Value {
+	return c.Add(a, c.FromFloat64(x))
+}
+
+// Sub returns a-b with stochastic rounding and cancellation tracking.
+func (c *Ctx) Sub(a, b Value) Value {
+	return c.Add(a, b.Neg())
+}
+
+// Neg returns -v (exact).
+func (v Value) Neg() Value {
+	var out Value
+	for i := range out.s {
+		out.s[i] = -v.s[i]
+	}
+	return out
+}
+
+// Mul returns a*b with stochastic rounding per sample (no cancellation
+// can occur in a multiplication, so none is recorded).
+func (c *Ctx) Mul(a, b Value) Value {
+	var out Value
+	for i := range out.s {
+		p, e := fpu.TwoProd(a.s[i], b.s[i])
+		out.s[i] = c.randRound(p, e)
+	}
+	c.ops++
+	return out
+}
+
+// Div returns a/b with stochastic rounding per sample; the residual
+// direction comes from the exact remainder a - q*b.
+func (c *Ctx) Div(a, b Value) Value {
+	var out Value
+	for i := range out.s {
+		q := a.s[i] / b.s[i]
+		rem := math.FMA(-q, b.s[i], a.s[i])
+		if b.s[i] < 0 {
+			rem = -rem
+		}
+		out.s[i] = c.randRound(q, rem)
+	}
+	c.ops++
+	return out
+}
+
+// recordCancellation detects loss of leading bits: the exponent of the
+// sum falling below the larger operand exponent. Severity is converted
+// to decimal digits (1 digit ~ log2(10) bits), CADNA's unit.
+func (c *Ctx) recordCancellation(a, b float64) {
+	if a == 0 || b == 0 || fpu.SameSign(a, b) {
+		return
+	}
+	s := a + b
+	opExp := fpu.Exponent(a)
+	if e := fpu.Exponent(b); e > opExp {
+		opExp = e
+	}
+	var lostBits int
+	if s == 0 {
+		lostBits = fpu.Precision
+	} else {
+		lostBits = opExp - fpu.Exponent(s)
+	}
+	if lostBits <= 0 {
+		return
+	}
+	digits := int(float64(lostBits) / math.Log2(10))
+	if digits < 1 {
+		return
+	}
+	c.total++
+	for i, th := range Thresholds {
+		if digits >= th {
+			c.counts[i]++
+		}
+	}
+}
+
+// Mean returns the average of the samples — the value estimate.
+func (v Value) Mean() float64 {
+	return (v.s[0] + v.s[1] + v.s[2]) / samples
+}
+
+// SignificantDigits estimates the number of reliable decimal digits in
+// the value via the CESTAC Student-t formula. Exactly agreeing samples
+// report the full 15.95 digits of binary64.
+func (v Value) SignificantDigits() float64 {
+	const maxDigits = 15.95 // log10(2^53)
+	m := v.Mean()
+	var variance float64
+	for _, s := range v.s {
+		d := s - m
+		variance += d * d
+	}
+	variance /= samples - 1
+	if variance == 0 {
+		if m == 0 {
+			return 0
+		}
+		return maxDigits
+	}
+	if m == 0 {
+		return 0
+	}
+	digits := math.Log10(math.Abs(m) * math.Sqrt(samples) / (math.Sqrt(variance) * studentT95))
+	if digits < 0 {
+		return 0
+	}
+	if digits > maxDigits {
+		return maxDigits
+	}
+	return digits
+}
+
+// Counts returns the number of cancellations at each severity in
+// Thresholds (cumulative: an 8-digit loss also counts at 1, 2, and 4).
+func (c *Ctx) Counts() [len(Thresholds)]int { return c.counts }
+
+// Total returns the total number of cancellation events (>= 1 digit).
+func (c *Ctx) Total() int { return c.total }
+
+// Ops returns the number of instrumented additions.
+func (c *Ctx) Ops() int { return c.ops }
+
+// SumStandard reduces xs left-to-right under instrumentation and returns
+// the tracked sum. This is the Fig 3 measurement kernel: one call per
+// summation order, then Counts() vs the true error of Mean().
+func (c *Ctx) SumStandard(xs []float64) Value {
+	acc := c.FromFloat64(0)
+	for _, x := range xs {
+		acc = c.AddFloat64(acc, x)
+	}
+	return acc
+}

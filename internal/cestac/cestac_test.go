@@ -1,0 +1,207 @@
+package cestac
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+)
+
+func TestExactArithmeticKeepsAllDigits(t *testing.T) {
+	c := NewCtx(1)
+	v := c.AddFloat64(c.FromFloat64(1), 2) // 1+2 exact: no perturbation
+	if v.Mean() != 3 {
+		t.Errorf("mean = %g, want 3", v.Mean())
+	}
+	if d := v.SignificantDigits(); d < 15 {
+		t.Errorf("exact op lost digits: %g", d)
+	}
+}
+
+func TestPerturbationOnInexactOps(t *testing.T) {
+	c := NewCtx(2)
+	acc := c.FromFloat64(0)
+	for i := 0; i < 10000; i++ {
+		acc = c.AddFloat64(acc, 0.1)
+	}
+	// Samples should have diverged (0.1 is inexact).
+	if acc.s[0] == acc.s[1] && acc.s[1] == acc.s[2] {
+		t.Error("samples never diverged over 10000 inexact adds")
+	}
+	if math.Abs(acc.Mean()-1000) > 1e-6 {
+		t.Errorf("mean %g too far from 1000", acc.Mean())
+	}
+	d := acc.SignificantDigits()
+	if d < 8 || d > 15.95 {
+		t.Errorf("significant digits %g outside plausible range", d)
+	}
+}
+
+func TestCatastrophicCancellationDetected(t *testing.T) {
+	c := NewCtx(3)
+	a := c.FromFloat64(1.0000001e8)
+	v := c.AddFloat64(a, -1e8) // loses ~8 leading decimal digits
+	_ = v
+	counts := c.Counts()
+	if counts[0] < 1 {
+		t.Fatal("cancellation not detected")
+	}
+	// ~7-8 digits lost: must register at severities 1, 2, 4.
+	if counts[1] < 1 || counts[2] < 1 {
+		t.Errorf("severity grading wrong: %v", counts)
+	}
+	if c.Total() != counts[0] {
+		t.Errorf("total %d != >=1-digit count %d", c.Total(), counts[0])
+	}
+}
+
+func TestExactZeroCancellationMaxSeverity(t *testing.T) {
+	c := NewCtx(4)
+	c.Add(c.FromFloat64(3.25), c.FromFloat64(-3.25))
+	counts := c.Counts()
+	for i := range counts {
+		if counts[i] != 1 {
+			t.Errorf("exact cancellation should register at every severity: %v", counts)
+		}
+	}
+}
+
+func TestSameSignNeverCancels(t *testing.T) {
+	c := NewCtx(5)
+	acc := c.FromFloat64(0)
+	for i := 0; i < 1000; i++ {
+		acc = c.AddFloat64(acc, float64(i)+0.5)
+	}
+	if c.Total() != 0 {
+		t.Errorf("same-sign additions recorded %d cancellations", c.Total())
+	}
+	if c.Ops() != 1000 {
+		t.Errorf("ops = %d", c.Ops())
+	}
+}
+
+func TestCountsAreCumulative(t *testing.T) {
+	c := NewCtx(6)
+	// 2-digit loss: 1.01e4 - 1e4 = 100, exponents 13 vs 6 -> ~2 digits.
+	c.Add(c.FromFloat64(1.01e4), c.FromFloat64(-1e4))
+	counts := c.Counts()
+	if counts[0] < counts[1] || counts[1] < counts[2] || counts[2] < counts[3] {
+		t.Errorf("severity counts not monotone: %v", counts)
+	}
+	if counts[0] != 1 || counts[3] != 0 {
+		t.Errorf("2-digit loss misgraded: %v", counts)
+	}
+}
+
+func TestSignificantDigitsZeroMean(t *testing.T) {
+	c := NewCtx(7)
+	v := c.Add(c.FromFloat64(1), c.FromFloat64(-1))
+	if d := v.SignificantDigits(); d != 0 {
+		t.Errorf("zero with agreement: %g digits (want 0 by convention)", d)
+	}
+}
+
+func TestSumStandardTracksTrueError(t *testing.T) {
+	// The stochastic mean must stay close to the exact sum, and the
+	// sample spread should roughly reflect the accumulated error.
+	r := fpu.NewRNG(8)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Float64()*2 - 1
+	}
+	c := NewCtx(9)
+	v := c.SumStandard(xs)
+	exact := bigref.SumFloat64(xs)
+	if math.Abs(v.Mean()-exact) > 1e-9 {
+		t.Errorf("stochastic mean %g vs exact %g", v.Mean(), exact)
+	}
+	if c.Ops() != 2000 {
+		t.Errorf("ops = %d", c.Ops())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	xs := []float64{0.1, -0.3, 0.7, -0.5, 0.2}
+	a := NewCtx(42)
+	b := NewCtx(42)
+	va, vb := a.SumStandard(xs), b.SumStandard(xs)
+	if va != vb {
+		t.Error("same seed produced different stochastic values")
+	}
+	if a.Counts() != b.Counts() {
+		t.Error("same seed produced different cancellation counts")
+	}
+}
+
+func TestFig3StyleNonCorrelation(t *testing.T) {
+	// Reproduce the paper's Section IV-B observation in miniature: for
+	// uniform [-1,1] data, cancellation counts across orders do not
+	// determine error magnitude. We check that the count is roughly
+	// stable across shuffles while errors vary (so count cannot predict
+	// error).
+	r := fpu.NewRNG(10)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64()*2 - 1
+	}
+	exact := bigref.SumFloat64(xs)
+	var counts []int
+	var errs []float64
+	for order := 0; order < 20; order++ {
+		r.Shuffle(xs)
+		c := NewCtx(uint64(order))
+		v := c.SumStandard(xs)
+		counts = append(counts, c.Total())
+		errs = append(errs, math.Abs(v.Mean()-exact))
+	}
+	distinctErr := map[float64]bool{}
+	for _, e := range errs {
+		distinctErr[e] = true
+	}
+	if len(distinctErr) < 5 {
+		t.Error("errors did not vary across orders")
+	}
+	totalCancels := 0
+	for _, n := range counts {
+		totalCancels += n
+	}
+	if totalCancels == 0 {
+		t.Error("expected some cancellations across 20 orders of mixed-sign data")
+	}
+}
+
+func TestSubMulDiv(t *testing.T) {
+	c := NewCtx(20)
+	a, b := c.FromFloat64(6), c.FromFloat64(3)
+	if got := c.Sub(a, b).Mean(); got != 3 {
+		t.Errorf("Sub = %g", got)
+	}
+	if got := c.Mul(a, b).Mean(); got != 18 {
+		t.Errorf("Mul = %g", got)
+	}
+	if got := c.Div(a, b).Mean(); got != 2 {
+		t.Errorf("Div = %g", got)
+	}
+	// Inexact ops must eventually perturb samples.
+	x := c.FromFloat64(1)
+	third := c.Div(x, c.FromFloat64(3))
+	acc := c.FromFloat64(0)
+	for i := 0; i < 1000; i++ {
+		acc = c.Add(acc, third)
+	}
+	if acc.s[0] == acc.s[1] && acc.s[1] == acc.s[2] {
+		t.Error("samples never diverged accumulating 1/3")
+	}
+	if d := acc.SignificantDigits(); d < 8 {
+		t.Errorf("1000*(1/3): %g digits", d)
+	}
+}
+
+func TestMulNoCancellationRecorded(t *testing.T) {
+	c := NewCtx(21)
+	c.Mul(c.FromFloat64(2), c.FromFloat64(-3))
+	if c.Total() != 0 {
+		t.Error("multiplication recorded a cancellation")
+	}
+}

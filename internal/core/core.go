@@ -1,0 +1,159 @@
+// Package core assembles the paper's proposal into a deployable runtime:
+// data-aware, requirement-driven selection of reduction algorithms. A
+// Runtime owns a reproducibility requirement and a selection policy;
+// every reduction it performs is preceded by a cheap profiling pass
+// (local, streaming, mergeable across ranks) whose result picks the
+// cheapest algorithm expected to stay within the requirement.
+//
+// The package also implements the paper's closing suggestion —
+// "apply cheaper but acceptably accurate reduction algorithms to
+// subtrees based on the profile" — as HierarchicalSum: the operand set
+// is partitioned into blocks, each block is profiled and reduced with
+// its own cheapest-acceptable algorithm, and the per-block partial sums
+// (now few) are combined with a reproducible operator.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/selector"
+	"repro/internal/sum"
+	"repro/internal/tree"
+)
+
+// Runtime is an intelligent reduction runtime.
+type Runtime struct {
+	sel *selector.Selector
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithPolicy substitutes the selection policy (e.g. a measurement-backed
+// selector.CalibratedPolicy instead of the analytic default).
+func WithPolicy(p selector.Policy) Option {
+	return func(rt *Runtime) { rt.sel.Policy = p }
+}
+
+// New returns a Runtime that keeps the relative run-to-run variability
+// of its reductions within tolerance (0 demands bitwise reproducibility).
+func New(tolerance float64, opts ...Option) *Runtime {
+	rt := &Runtime{sel: selector.New(tolerance)}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt
+}
+
+// Selector exposes the underlying selector (for distributed use via
+// selector.AdaptiveReduce).
+func (rt *Runtime) Selector() *selector.Selector { return rt.sel }
+
+// Tolerance returns the configured variability tolerance.
+func (rt *Runtime) Tolerance() float64 { return rt.sel.Req.Tolerance }
+
+// Report describes one adaptive reduction: what was profiled, what was
+// chosen, and what the policy predicted.
+type Report struct {
+	Algorithm sum.Algorithm
+	Profile   selector.Profile
+	Predicted float64
+	// PRConfig is set when the prerounded operator was chosen: the
+	// tolerance-tuned bin configuration (selector.TunePR).
+	PRConfig *sum.PRConfig
+}
+
+// String summarizes the report.
+func (r Report) String() string {
+	return fmt.Sprintf("chose %s (%s) for %v (predicted variability %.3g)",
+		r.Algorithm, r.Algorithm.FullName(), r.Profile, r.Predicted)
+}
+
+// Sum profiles xs, selects the cheapest acceptable algorithm, and sums.
+// When the prerounded operator is selected its fold budget is tuned to
+// the tolerance (selector.TunePR) — the paper's precision-tuning idea
+// applied to the one algorithm with a precision knob.
+func (rt *Runtime) Sum(xs []float64) (float64, Report) {
+	prof := selector.ProfileOf(xs)
+	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
+	rep := Report{Algorithm: alg, Profile: prof, Predicted: pred}
+	if alg == sum.PreroundedAlg {
+		cfg := selector.TunePR(prof, rt.sel.Req)
+		rep.PRConfig = &cfg
+		return sum.PreroundedWith(cfg, xs), rep
+	}
+	return alg.Sum(xs), rep
+}
+
+// Reduce profiles xs and reduces it under the given tree plan with the
+// selected algorithm — the paper's scenario where the tree is imposed
+// by the system, not the algorithm.
+func (rt *Runtime) Reduce(p tree.Plan, xs []float64) (float64, Report) {
+	prof := selector.ProfileOf(xs)
+	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
+	v := selector.ReduceTreeWith(alg, p, xs)
+	return v, Report{Algorithm: alg, Profile: prof, Predicted: pred}
+}
+
+// BlockReport records the per-block decision of a hierarchical sum.
+type BlockReport struct {
+	Start, End int
+	Report     Report
+}
+
+// HierarchicalSum implements subtree-level selection: xs is split into
+// blocks of blockSize, each block is profiled independently and reduced
+// with its own cheapest acceptable algorithm, and the block partials
+// are combined with the prerounded operator so the combination step
+// never reintroduces order sensitivity.
+//
+// Blocks whose local data is benign (same sign, narrow range) get the
+// cheap operator even when the global set is hostile — the cost saving
+// the paper's Section V-D argues for.
+//
+// Caveat: the tolerance contract applies per block. When blocks cancel
+// strongly against each other, the global relative error can exceed the
+// per-block tolerance by the ratio of global to block condition
+// numbers; use Sum (whole-set profiling) when the contract must hold
+// for the global result.
+func (rt *Runtime) HierarchicalSum(xs []float64, blockSize int) (float64, []BlockReport) {
+	if blockSize <= 0 {
+		blockSize = 4096
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0, nil
+	}
+	var reports []BlockReport
+	// Block partials are folded with PR so the final combination is
+	// insensitive to block order (e.g. if blocks completed on different
+	// ranks at different times).
+	acc := sum.NewPreroundedAcc(sum.DefaultPRConfig())
+	for lo := 0; lo < n; lo += blockSize {
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		block := xs[lo:hi]
+		v, rep := rt.Sum(block)
+		acc.Add(v)
+		reports = append(reports, BlockReport{Start: lo, End: hi, Report: rep})
+	}
+	return acc.Sum(), reports
+}
+
+// CostSavings summarizes a hierarchical run: the fraction of blocks that
+// got away with an algorithm cheaper than the one a whole-set profile
+// would have required.
+func CostSavings(whole Report, blocks []BlockReport) float64 {
+	if len(blocks) == 0 {
+		return 0
+	}
+	cheaper := 0
+	for _, b := range blocks {
+		if b.Report.Algorithm.CostRank() < whole.Algorithm.CostRank() {
+			cheaper++
+		}
+	}
+	return float64(cheaper) / float64(len(blocks))
+}

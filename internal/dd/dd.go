@@ -1,0 +1,137 @@
+// Package dd implements double-double arithmetic: an unevaluated sum of
+// two float64 values (hi, lo) with |lo| <= ulp(hi)/2, giving roughly 106
+// bits of significand. It is the substrate for the composite-precision
+// summation operator and for cheap high-precision cross-checks.
+//
+// The algorithms follow Dekker (1971) and Hida, Li & Bailey (2001).
+// All operations renormalize their results.
+package dd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fpu"
+)
+
+// DD is a double-double value hi+lo with hi = fl(hi+lo).
+type DD struct {
+	Hi, Lo float64
+}
+
+// Zero is the double-double zero value.
+var Zero = DD{}
+
+// FromFloat64 lifts a float64 into a DD exactly.
+func FromFloat64(x float64) DD { return DD{Hi: x} }
+
+// New constructs a normalized DD from an unevaluated pair (a, b).
+func New(a, b float64) DD {
+	s, e := fpu.TwoSum(a, b)
+	return DD{Hi: s, Lo: e}
+}
+
+// Float64 rounds the DD to the nearest float64.
+func (a DD) Float64() float64 { return a.Hi + a.Lo }
+
+// IsZero reports whether a represents exactly zero.
+func (a DD) IsZero() bool { return a.Hi == 0 && a.Lo == 0 }
+
+// IsNaN reports whether either component is NaN.
+func (a DD) IsNaN() bool { return math.IsNaN(a.Hi) || math.IsNaN(a.Lo) }
+
+// Neg returns -a.
+func (a DD) Neg() DD { return DD{Hi: -a.Hi, Lo: -a.Lo} }
+
+// Abs returns |a|.
+func (a DD) Abs() DD {
+	if a.Hi < 0 || (a.Hi == 0 && a.Lo < 0) {
+		return a.Neg()
+	}
+	return a
+}
+
+// AddFloat64 returns a + x with double-double accuracy.
+func (a DD) AddFloat64(x float64) DD {
+	s, e := fpu.TwoSum(a.Hi, x)
+	e += a.Lo
+	s, e = fpu.FastTwoSum(s, e)
+	return DD{Hi: s, Lo: e}
+}
+
+// Add returns a + b with double-double accuracy (full Hida-Li-Bailey
+// "accurate" addition: relative error bounded by 2^-104ish).
+func (a DD) Add(b DD) DD {
+	s1, e1 := fpu.TwoSum(a.Hi, b.Hi)
+	s2, e2 := fpu.TwoSum(a.Lo, b.Lo)
+	e1 += s2
+	s1, e1 = fpu.FastTwoSum(s1, e1)
+	e1 += e2
+	s1, e1 = fpu.FastTwoSum(s1, e1)
+	return DD{Hi: s1, Lo: e1}
+}
+
+// Sub returns a - b.
+func (a DD) Sub(b DD) DD { return a.Add(b.Neg()) }
+
+// SubFloat64 returns a - x.
+func (a DD) SubFloat64(x float64) DD { return a.AddFloat64(-x) }
+
+// MulFloat64 returns a * x.
+func (a DD) MulFloat64(x float64) DD {
+	p, e := fpu.TwoProd(a.Hi, x)
+	e += a.Lo * x
+	p, e = fpu.FastTwoSum(p, e)
+	return DD{Hi: p, Lo: e}
+}
+
+// Mul returns a * b.
+func (a DD) Mul(b DD) DD {
+	p, e := fpu.TwoProd(a.Hi, b.Hi)
+	e += a.Hi*b.Lo + a.Lo*b.Hi
+	p, e = fpu.FastTwoSum(p, e)
+	return DD{Hi: p, Lo: e}
+}
+
+// Div returns a / b (one Newton refinement over the float64 quotient).
+func (a DD) Div(b DD) DD {
+	q1 := a.Hi / b.Hi
+	r := a.Sub(b.MulFloat64(q1))
+	q2 := r.Hi / b.Hi
+	r = r.Sub(b.MulFloat64(q2))
+	q3 := r.Hi / b.Hi
+	s, e := fpu.FastTwoSum(q1, q2)
+	e += q3
+	s, e = fpu.FastTwoSum(s, e)
+	return DD{Hi: s, Lo: e}
+}
+
+// Cmp compares a and b, returning -1, 0, or +1.
+func (a DD) Cmp(b DD) int {
+	switch {
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	}
+	return 0
+}
+
+// String formats the value showing both components.
+func (a DD) String() string {
+	return fmt.Sprintf("dd(%.17g + %.17g)", a.Hi, a.Lo)
+}
+
+// Sum reduces xs to a DD using double-double accumulation; the result is
+// order-dependent only below ~2^-104 relative precision.
+func Sum(xs []float64) DD {
+	acc := Zero
+	for _, x := range xs {
+		acc = acc.AddFloat64(x)
+	}
+	return acc
+}

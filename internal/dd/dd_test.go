@@ -1,0 +1,182 @@
+package dd
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(a DD) *big.Float {
+	x := new(big.Float).SetPrec(300).SetFloat64(a.Hi)
+	return x.Add(x, new(big.Float).SetPrec(300).SetFloat64(a.Lo))
+}
+
+func bigOf(x float64) *big.Float {
+	return new(big.Float).SetPrec(300).SetFloat64(x)
+}
+
+// relErr returns |got-want|/|want| in big.Float arithmetic, or absolute
+// error if want == 0.
+func relErr(got, want *big.Float) float64 {
+	d := new(big.Float).SetPrec(300).Sub(got, want)
+	d.Abs(d)
+	if want.Sign() != 0 {
+		w := new(big.Float).SetPrec(300).Abs(want)
+		d.Quo(d, w)
+	}
+	f, _ := d.Float64()
+	return f
+}
+
+func usable(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+		if x != 0 && (math.Abs(x) > 0x1p500 || math.Abs(x) < 0x1p-500) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNormalization(t *testing.T) {
+	a := New(1.0, 1e-30)
+	if a.Hi != 1.0 || a.Lo != 1e-30 {
+		t.Errorf("New(1,1e-30) = %v", a)
+	}
+	b := New(1e-30, 1.0) // unordered inputs must normalize
+	if b.Hi != 1.0 {
+		t.Errorf("New should normalize: %v", b)
+	}
+}
+
+func TestAddFloat64Accuracy(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if !usable(a, b, c) {
+			return true
+		}
+		got := FromFloat64(a).AddFloat64(b).AddFloat64(c)
+		want := bigOf(a)
+		want.Add(want, bigOf(b))
+		want.Add(want, bigOf(c))
+		return relErr(toBig(got), want) < 0x1p-100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDDAccuracy(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if !usable(a, b, c, d) {
+			return true
+		}
+		x := New(a, b*0x1p-40)
+		y := New(c, d*0x1p-40)
+		got := x.Add(y)
+		want := new(big.Float).SetPrec(300).Add(toBig(x), toBig(y))
+		return relErr(toBig(got), want) < 0x1p-98
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAccuracy(t *testing.T) {
+	f := func(a, b float64) bool {
+		if !usable(a, b) {
+			return true
+		}
+		x, y := FromFloat64(a), FromFloat64(b)
+		got := x.Mul(y)
+		want := new(big.Float).SetPrec(300).Mul(bigOf(a), bigOf(b))
+		return relErr(toBig(got), want) < 0x1p-100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivAccuracy(t *testing.T) {
+	f := func(a, b float64) bool {
+		if !usable(a, b) || b == 0 {
+			return true
+		}
+		got := FromFloat64(a).Div(FromFloat64(b))
+		want := new(big.Float).SetPrec(300).Quo(bigOf(a), bigOf(b))
+		return relErr(toBig(got), want) < 0x1p-98
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	a := New(math.Pi, 1.2246467991473515e-16)
+	b := FromFloat64(3.0)
+	q := a.Div(b)
+	back := q.Mul(b)
+	diff := back.Sub(a).Abs().Float64()
+	if diff > 1e-30 {
+		t.Errorf("a/b*b differs from a by %g", diff)
+	}
+}
+
+func TestCancellationCaptured(t *testing.T) {
+	// 1e9 + 1e-9 - 1e9 must recover 1e-9 exactly in dd.
+	acc := FromFloat64(1e9).AddFloat64(1e-9).AddFloat64(-1e9)
+	if acc.Float64() != 1e-9 {
+		t.Errorf("dd lost the small term: %v", acc)
+	}
+}
+
+func TestSumKnownSeries(t *testing.T) {
+	// sum of 1/2^i for i=1..60 = 1 - 2^-60 exactly.
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = math.Ldexp(1, -(i + 1))
+	}
+	got := Sum(xs)
+	want := New(1, -0x1p-60)
+	if got.Cmp(want) != 0 {
+		t.Errorf("Sum geometric = %v, want %v", got, want)
+	}
+}
+
+func TestCmpAndNegAbs(t *testing.T) {
+	a := New(1, 1e-20)
+	b := New(1, 2e-20)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if a.Neg().Cmp(Zero) != -1 {
+		t.Error("Neg sign wrong")
+	}
+	if a.Neg().Abs().Cmp(a) != 0 {
+		t.Error("Abs(Neg(a)) != a")
+	}
+}
+
+func TestSubExactCancel(t *testing.T) {
+	a := New(1.5, 3e-20)
+	if !a.Sub(a).IsZero() {
+		t.Error("a - a != 0")
+	}
+}
+
+func TestIsNaN(t *testing.T) {
+	if FromFloat64(1).IsNaN() {
+		t.Error("1 is not NaN")
+	}
+	if !(DD{Hi: math.NaN()}).IsNaN() {
+		t.Error("NaN not detected")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if New(1, 0).String() == "" {
+		t.Error("empty String()")
+	}
+}

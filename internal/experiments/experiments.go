@@ -1,0 +1,56 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver returns a typed result that renders
+// itself as text (and CSV where tabular), so the cmd/redbench tool and
+// the root-level benchmarks can regenerate every artifact.
+//
+// Every driver accepts a Config whose Scale selects between Quick
+// (seconds; used by `go test` to assert the qualitative shape of each
+// result) and Full (minutes; the paper-scale parameters, adjusted where
+// the original used cluster-months of compute — noted per driver).
+package experiments
+
+import "fmt"
+
+// Scale selects experiment size.
+type Scale int
+
+const (
+	// Quick runs a scaled-down experiment preserving the qualitative
+	// shape (used in tests).
+	Quick Scale = iota
+	// Full runs at (or near) paper-scale parameters.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Config parameterizes a driver run.
+type Config struct {
+	Scale Scale
+	Seed  uint64
+}
+
+// pick returns q at Quick scale and f at Full scale.
+func (c Config) pick(q, f int) int {
+	if c.Scale == Full {
+		return f
+	}
+	return q
+}
+
+// Result is implemented by every experiment result: a human-readable
+// rendering plus the experiment's identifier.
+type Result interface {
+	// ID returns the paper artifact this reproduces, e.g. "fig7".
+	ID() string
+	// String renders the result for the terminal.
+	String() string
+}
+
+func fmtFloat(v float64) string { return fmt.Sprintf("%.6g", v) }

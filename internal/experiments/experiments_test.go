@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sum"
+)
+
+var quick = Config{Scale: Quick, Seed: 1}
+
+func TestTableI(t *testing.T) {
+	res := TableI(quick)
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.AllMatch() {
+		t.Errorf("Table I mismatch:\n%s", res)
+	}
+	if len(res.GenRows) != 9 {
+		t.Fatalf("gen rows = %d", len(res.GenRows))
+	}
+	for _, g := range res.GenRows {
+		if g.MeasuredDRBits != g.TargetDRBits {
+			t.Errorf("generator dr %d != target %d", g.MeasuredDRBits, g.TargetDRBits)
+		}
+		switch {
+		case math.IsInf(float64(g.TargetK), 1):
+			if !math.IsInf(float64(g.MeasuredK), 1) {
+				t.Errorf("generator k = %g, want inf", g.MeasuredK)
+			}
+		default:
+			if g.MeasuredK < g.TargetK/3 || g.MeasuredK > g.TargetK*3 {
+				t.Errorf("generator k = %g, target %g", g.MeasuredK, g.TargetK)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Table I") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestFig2BoundsDominateAndSpread(t *testing.T) {
+	res := Fig2(quick)
+	if res.Errors.N != res.Orders {
+		t.Fatalf("error sample size %d", res.Errors.N)
+	}
+	// Both bounds must dominate every observed error, by a lot.
+	if res.OverestimationAnalytic() < 10 {
+		t.Errorf("analytic bound only %.1fx above max error", res.OverestimationAnalytic())
+	}
+	if res.OverestimationStatistical() < 1 {
+		t.Errorf("statistical bound below max error: %.2fx", res.OverestimationStatistical())
+	}
+	if res.AnalyticBound <= res.StatisticalBound {
+		t.Error("analytic bound should exceed statistical bound")
+	}
+	// Reordering alone must spread the error widely.
+	if res.Errors.Max <= res.Errors.Min {
+		t.Error("no error spread across orders")
+	}
+	if !strings.Contains(res.String(), "overestimation") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestFig3CancellationDoesNotPredictError(t *testing.T) {
+	res := Fig3(quick)
+	if len(res.Orders) == 0 {
+		t.Fatal("no orders")
+	}
+	// Weak rank correlation: |rho| well below strong correlation.
+	if math.Abs(res.RankCorrelation) > 0.6 {
+		t.Errorf("cancellations unexpectedly predictive: rho = %.3f", res.RankCorrelation)
+	}
+	// A witness inversion should exist (more cancellations, less error).
+	if res.InversionI < 0 {
+		t.Error("no counterexample pair found")
+	} else {
+		oi, oj := res.Orders[res.InversionI], res.Orders[res.InversionJ]
+		if oi.Counts[0] <= oj.Counts[0] || oi.Error >= oj.Error {
+			t.Error("witness pair does not witness")
+		}
+	}
+	// Severity counts must be cumulative in every order.
+	for _, o := range res.Orders {
+		if o.Counts[0] < o.Counts[1] || o.Counts[1] < o.Counts[2] || o.Counts[2] < o.Counts[3] {
+			t.Errorf("non-cumulative counts %v", o.Counts)
+		}
+	}
+	_ = res.String()
+}
+
+func TestFig45CostLadder(t *testing.T) {
+	res := Fig45(quick)
+	for _, alg := range sum.PaperAlgorithms {
+		if res.Times[alg] <= 0 {
+			t.Fatalf("no time recorded for %v", alg)
+		}
+		// The input sums to zero exactly; every algorithm's result must
+		// be tiny relative to the data magnitude.
+		if math.Abs(res.Sums[alg]) > 1 {
+			t.Errorf("%v sum = %g, expected near zero", alg, res.Sums[alg])
+		}
+	}
+	// Penalties are relative to ST.
+	if p := res.Penalty(sum.StandardAlg); p != 1 {
+		t.Errorf("ST penalty = %g", p)
+	}
+	// The ladder should hold with slack for scheduler noise; it is a
+	// structural claim about the implementations, so a gross inversion
+	// (e.g. PR cheaper than half of ST) is a bug.
+	if !res.LadderHolds(0.5) {
+		t.Errorf("cost ladder grossly violated: ST=%v K=%v CP=%v PR=%v",
+			res.Times[sum.StandardAlg], res.Times[sum.KahanAlg],
+			res.Times[sum.CompositeAlg], res.Times[sum.PreroundedAlg])
+	}
+	if !strings.Contains(res.String(), "penalty") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestFig6SensitivityLadder(t *testing.T) {
+	res := Fig6(quick)
+	if !res.SpreadLadderHolds() {
+		t.Errorf("Fig 6 ladder violated: K=%g CP=%g PR=%g",
+			res.Stats[sum.KahanAlg].Spread(),
+			res.Stats[sum.CompositeAlg].Spread(),
+			res.Stats[sum.PreroundedAlg].Spread())
+	}
+	for _, alg := range Fig6Algorithms {
+		if len(res.Errors[alg]) != res.Trees {
+			t.Errorf("%v series length %d", alg, len(res.Errors[alg]))
+		}
+	}
+	_ = res.String()
+}
+
+func TestFig7AllLadders(t *testing.T) {
+	res := Fig7(quick)
+	if len(res.Panels) != 4 {
+		t.Fatalf("panels = %d", len(res.Panels))
+	}
+	if !res.SpreadLadderHolds() {
+		t.Error("within-panel spread ladder violated")
+		t.Log(res.String())
+	}
+	if !res.ConcurrencyGrowthHolds() {
+		t.Error("ST spread did not grow with concurrency")
+		t.Log(res.String())
+	}
+	if !res.UnbalancedWorseHolds() {
+		t.Error("unbalanced trees not worse than balanced for ST")
+		t.Log(res.String())
+	}
+}
+
+func TestFig9GridShape(t *testing.T) {
+	res := Fig9(quick)
+	if len(res.Cells) != res.Rows*res.Cols {
+		t.Fatalf("cell count %d", len(res.Cells))
+	}
+	// ST shading must grow with k along every dr row (with slack).
+	if !res.MonotoneAlongCols(sum.StandardAlg, 0.9) {
+		t.Error("ST variability not increasing with k")
+		t.Log(res.String())
+	}
+	// CP and PR columns must be (near-)reproducible everywhere the
+	// paper's resolution claims: exact-zero stddev for PR.
+	for _, c := range res.Cells {
+		if c.RelStdDev[sum.PreroundedAlg] != 0 {
+			t.Errorf("PR varied at %v", c.Spec)
+		}
+	}
+	// Dark corner: the hardest cell must beat the easiest by orders of
+	// magnitude for ST.
+	easy := res.Cell(0, 0).RelStdDev[sum.StandardAlg]
+	hard := res.Cell(res.Rows-1, res.Cols-1).RelStdDev[sum.StandardAlg]
+	if !(hard > easy) {
+		t.Errorf("hard cell (%g) not darker than easy cell (%g)", hard, easy)
+	}
+	if !strings.Contains(res.String(), "Fig9") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestFig10Fig11Shapes(t *testing.T) {
+	f10 := Fig10(quick)
+	if len(f10.Cells) != f10.Rows*f10.Cols {
+		t.Fatal("fig10 cell count")
+	}
+	// k is fixed at 1: every measured cell must be well-conditioned.
+	for _, c := range f10.Cells {
+		if c.MeasuredK != 1 {
+			t.Errorf("fig10 cell %v has k=%g", c.Spec, c.MeasuredK)
+		}
+	}
+	f11 := Fig11(quick)
+	if len(f11.Cells) != f11.Rows*f11.Cols {
+		t.Fatal("fig11 cell count")
+	}
+	// Fig 11's lesson: k exerts stronger influence than dr. Compare the
+	// ST variability growth across k (at fixed n) with fig10's growth
+	// across dr (at fixed n): the k span must be larger.
+	kSpan := f11.Cell(f11.Rows-1, 0).RelStdDev[sum.StandardAlg] /
+		math.Max(f11.Cell(0, 0).RelStdDev[sum.StandardAlg], 1e-300)
+	drSpan := f10.Cell(f10.Rows-1, 0).RelStdDev[sum.StandardAlg] /
+		math.Max(f10.Cell(0, 0).RelStdDev[sum.StandardAlg], 1e-300)
+	if kSpan <= drSpan {
+		t.Errorf("k influence (%.3g) not stronger than dr influence (%.3g)", kSpan, drSpan)
+	}
+}
+
+func TestFig12Progression(t *testing.T) {
+	res := Fig12(quick)
+	if len(res.Classes) != len(Fig12Thresholds) {
+		t.Fatal("class count")
+	}
+	if !res.TighteningMonotone() {
+		t.Error("tightening the threshold cheapened a cell")
+		t.Log(res.String())
+	}
+	if !res.HardCellsNeedCostlier() {
+		t.Error("hard cells do not need costlier algorithms")
+		t.Log(res.String())
+	}
+	// The easiest cell at the loosest threshold should get a cheap
+	// algorithm (ST or K).
+	if rank := res.CostRankAt(0, 0, 0); rank > sum.KahanAlg.CostRank() {
+		t.Errorf("easy cell at loose threshold ranked %d", rank)
+	}
+	_ = res.String()
+}
+
+func TestScaleAndIDs(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names")
+	}
+	ids := map[string]bool{}
+	for _, r := range []Result{
+		TableIResult{}, Fig2Result{}, Fig3Result{}, Fig45Result{},
+		Fig6Result{}, Fig7Result{}, GridResult{Fig: "fig9"}, Fig12Result{},
+		TopoResult{}, IntervalExtResult{}, ShapesExtResult{}, NBodyExtResult{}, PrecisionExtResult{},
+	} {
+		if r.ID() == "" || ids[r.ID()] {
+			t.Errorf("bad or duplicate ID %q", r.ID())
+		}
+		ids[r.ID()] = true
+	}
+}
+
+func TestTopoExtGrowsWithScale(t *testing.T) {
+	res := TopoExt(quick)
+	if len(res.Advantage) != len(res.Ns) {
+		t.Fatal("length mismatch")
+	}
+	if !res.GrowsWithScale() {
+		t.Errorf("topology advantage not growing: %v", res.Advantage)
+	}
+	if res.Advantage[0] < 1 {
+		t.Errorf("topology-aware tree should win even at n=%d: %.2f", res.Ns[0], res.Advantage[0])
+	}
+	if !strings.Contains(res.String(), "Balaji") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestIntervalExtClaims(t *testing.T) {
+	res := IntervalExt(quick)
+	// Reproducible by design: every enclosure contained the exact sum.
+	if res.EnclosureHeld != res.Orders {
+		t.Errorf("enclosure held %d/%d", res.EnclosureHeld, res.Orders)
+	}
+	// Useless tightness on cancelling data: width dwarfs realized error.
+	if res.WidthOverestimation() < 100 {
+		t.Errorf("interval width only %.1fx the realized error; expected gross overestimate",
+			res.WidthOverestimation())
+	}
+	// Large slowdown.
+	if res.Slowdown < 2 {
+		t.Errorf("interval slowdown %.1fx; expected well above ST", res.Slowdown)
+	}
+	if !strings.Contains(res.String(), "III-B") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestShapesExtClaims(t *testing.T) {
+	res := ShapesExt(quick)
+	if !res.ShapeVariabilityWorse() {
+		t.Errorf("shape-variation claim failed: %v", res.Spread)
+	}
+	// ST must actually vary under every regime.
+	for shape, spreads := range res.Spread {
+		if spreads[sum.StandardAlg] == 0 {
+			t.Errorf("ST did not vary under %v", shape)
+		}
+	}
+	_ = res.String()
+}
+
+func TestNBodyExtTrust(t *testing.T) {
+	res := NBodyExt(quick)
+	if !res.TrustRestored() {
+		t.Errorf("N-body trust claim failed: div=%v bitwise=%v", res.Divergence, res.BitwiseEqual)
+	}
+	// CP must diverge no more than ST.
+	if res.Divergence[sum.CompositeAlg] > res.Divergence[sum.StandardAlg] {
+		t.Errorf("CP diverged more than ST: %g vs %g",
+			res.Divergence[sum.CompositeAlg], res.Divergence[sum.StandardAlg])
+	}
+	if !strings.Contains(res.String(), "N-body") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestResultsAreJSONMarshalable(t *testing.T) {
+	for _, r := range []Result{
+		TableI(quick), Fig2(quick), Fig3(quick), Fig6(quick),
+		TopoExt(quick), ShapesExt(quick),
+	} {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			t.Errorf("%s: %v", r.ID(), err)
+			continue
+		}
+		if len(blob) < 10 {
+			t.Errorf("%s: suspiciously small JSON", r.ID())
+		}
+	}
+	// Algorithm-keyed maps must use abbreviations.
+	blob, err := json.Marshal(ShapesExt(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"PR"`) || !strings.Contains(string(blob), `"balanced"`) {
+		t.Errorf("JSON keys not readable: %.200s", blob)
+	}
+}
+
+func TestPrecisionExtClaims(t *testing.T) {
+	res := PrecisionExt(quick)
+	if !res.TechniqueWorks() {
+		t.Errorf("III-C technique claim failed: distinct=%v worst=%v",
+			res.Distinct, res.WorstErrUlps)
+	}
+	// Kahan in float32 must not be worse than naive.
+	if res.WorstErrUlps["Kahan float32"] > res.WorstErrUlps["naive float32"] {
+		t.Errorf("Kahan32 worse than naive: %v", res.WorstErrUlps)
+	}
+	if !strings.Contains(res.String(), "III-C") {
+		t.Error("String() incomplete")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/sum"
+	"repro/internal/textplot"
+)
+
+// Fig12Thresholds are the error-variability thresholds of the paper's
+// Fig 12, loosest to tightest.
+var Fig12Thresholds = []float64{5e-13, 3e-13, 2.5e-13, 1.5e-13, 5e-14}
+
+// Fig12Result reproduces Fig 12: for each variability threshold t, the
+// (k, dr) grid is classified by the cheapest algorithm whose measured
+// variability stays within t. Tightening t pushes the frontier of
+// "needs a costlier algorithm" toward the easy (low-k, low-dr) corner.
+type Fig12Result struct {
+	Grid       GridResult
+	Thresholds []float64
+	// Classes[t][cell] is the chosen algorithm per cell (as int), -1
+	// when nothing qualifies; cells are in the grid's row-major order.
+	Classes [][]int
+}
+
+// Fig12 runs the experiment by classifying a Fig 9-style sweep at each
+// threshold.
+func Fig12(cfg Config) Fig12Result {
+	g := Fig9(cfg)
+	return Fig12Result{
+		Grid:       g,
+		Thresholds: Fig12Thresholds,
+		Classes:    grid.Classify(g.Cells, Fig12Thresholds),
+	}
+}
+
+// ID implements Result.
+func (Fig12Result) ID() string { return "fig12" }
+
+// CostRankAt returns the cost rank of the classification for threshold
+// index ti at (row, col); "none qualifies" ranks above everything.
+func (r Fig12Result) CostRankAt(ti, row, col int) int {
+	c := r.Classes[ti][row*r.Grid.Cols+col]
+	if c < 0 {
+		return 1 << 30
+	}
+	return sum.Algorithm(c).CostRank()
+}
+
+// TighteningMonotone verifies that lowering the threshold never
+// cheapens any cell's required algorithm.
+func (r Fig12Result) TighteningMonotone() bool {
+	for row := 0; row < r.Grid.Rows; row++ {
+		for col := 0; col < r.Grid.Cols; col++ {
+			prev := -1
+			for ti := range r.Thresholds {
+				rank := r.CostRankAt(ti, row, col)
+				if rank < prev {
+					return false
+				}
+				prev = rank
+			}
+		}
+	}
+	return true
+}
+
+// HardCellsNeedCostlier verifies that at every threshold, the hardest
+// cell (max k, max dr) requires an algorithm at least as costly as the
+// easiest cell (k=1, dr=0).
+func (r Fig12Result) HardCellsNeedCostlier() bool {
+	for ti := range r.Thresholds {
+		easy := r.CostRankAt(ti, 0, 0)
+		hard := r.CostRankAt(ti, r.Grid.Rows-1, r.Grid.Cols-1)
+		if hard < easy {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders one classification map per threshold.
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 12: cheapest acceptable algorithm per (k, dr) cell (%s)\n", r.Grid.Fixed)
+	for ti, th := range r.Thresholds {
+		fmt.Fprintf(&b, "\nthreshold t = %.2g:\n", th)
+		var rows [][]string
+		for row := 0; row < r.Grid.Rows; row++ {
+			line := []string{r.Grid.RowLabels[row]}
+			for col := 0; col < r.Grid.Cols; col++ {
+				c := r.Classes[ti][row*r.Grid.Cols+col]
+				if c < 0 {
+					line = append(line, "-")
+				} else {
+					line = append(line, sum.Algorithm(c).String())
+				}
+			}
+			rows = append(rows, line)
+		}
+		header := append([]string{r.Grid.RowName + `\` + r.Grid.ColName}, r.Grid.ColLabels...)
+		b.WriteString(textplot.Table(header, rows))
+	}
+	fmt.Fprintf(&b, "\nmonotone under tightening: %v; hard cells need costlier: %v\n",
+		r.TighteningMonotone(), r.HardCellsNeedCostlier())
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/sum"
+	"repro/internal/textplot"
+)
+
+// Fig2Result reproduces Fig 2: the distribution of observed error
+// magnitudes over many random summation orders of one uniform data set,
+// against the analytic (n·u·Σ|x|) and statistical (√n·u·Σ|x|)
+// worst-case bounds. The paper's point: both bounds overestimate the
+// observed error by orders of magnitude, and reordering alone spreads
+// the error across a wide range.
+type Fig2Result struct {
+	N, Orders        int
+	Errors           metrics.Stats
+	ErrorSample      []float64 // raw per-order errors (the plotted points)
+	AnalyticBound    float64
+	StatisticalBound float64
+}
+
+// Fig2 runs the experiment. Paper scale: 10,000 values in (-1000, 1000)
+// summed in 10,000 distinct orders.
+func Fig2(cfg Config) Fig2Result {
+	n := cfg.pick(2000, 10000)
+	orders := cfg.pick(200, 10000)
+	xs := gen.Uniform(n, -1000, 1000, cfg.Seed)
+	ref := bigref.SumFloat64(xs)
+	r := fpu.NewRNG(cfg.Seed ^ 0xF162)
+	errs := make([]float64, orders)
+	work := make([]float64, n)
+	copy(work, xs)
+	for i := range errs {
+		r.Shuffle(work)
+		errs[i] = abs(sum.Standard(work) - ref)
+	}
+	return Fig2Result{
+		N:                n,
+		Orders:           orders,
+		Errors:           metrics.Describe(errs),
+		ErrorSample:      errs,
+		AnalyticBound:    metrics.AnalyticBound(xs),
+		StatisticalBound: metrics.StatisticalBound(xs),
+	}
+}
+
+// ID implements Result.
+func (Fig2Result) ID() string { return "fig2" }
+
+// OverestimationAnalytic returns how many times the analytic bound
+// exceeds the worst observed error.
+func (r Fig2Result) OverestimationAnalytic() float64 {
+	if r.Errors.Max == 0 {
+		return 0
+	}
+	return r.AnalyticBound / r.Errors.Max
+}
+
+// OverestimationStatistical is the same ratio for the statistical bound.
+func (r Fig2Result) OverestimationStatistical() float64 {
+	if r.Errors.Max == 0 {
+		return 0
+	}
+	return r.StatisticalBound / r.Errors.Max
+}
+
+// ErrorSpreadRatio returns max/min over the nonzero observed errors —
+// the width of the error range induced by reordering alone.
+func (r Fig2Result) ErrorSpreadRatio() float64 {
+	if r.Errors.Min > 0 {
+		return r.Errors.Max / r.Errors.Min
+	}
+	return r.Errors.Max / (r.Errors.Q1 + 1e-300)
+}
+
+// String renders the comparison.
+func (r Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2: %d orders of %d uniform(-1000,1000) values\n", r.Orders, r.N)
+	b.WriteString(textplot.Table(
+		[]string{"quantity", "value"},
+		[][]string{
+			{"min observed error", fmtFloat(r.Errors.Min)},
+			{"median observed error", fmtFloat(r.Errors.Median)},
+			{"max observed error", fmtFloat(r.Errors.Max)},
+			{"statistical bound sqrt(n)*u*sum|x|", fmtFloat(r.StatisticalBound)},
+			{"analytic bound n*u*sum|x|", fmtFloat(r.AnalyticBound)},
+			{"analytic overestimation", fmt.Sprintf("%.1fx", r.OverestimationAnalytic())},
+			{"statistical overestimation", fmt.Sprintf("%.1fx", r.OverestimationStatistical())},
+		}))
+	if len(r.ErrorSample) > 0 {
+		b.WriteString("\n")
+		b.WriteString(textplot.Histogram(
+			"distribution of observed error magnitudes (log bins)",
+			metrics.LogHistogram(r.ErrorSample, 12),
+			map[string]float64{
+				"statistical bound": r.StatisticalBound,
+				"analytic bound":    r.AnalyticBound,
+			}, 40))
+	}
+	return b.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

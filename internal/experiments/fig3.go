@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bigref"
+	"repro/internal/cestac"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/textplot"
+)
+
+// Fig3Order is one summation order's instrumentation record: the
+// cancellation counts at severities 1/2/4/8 decimal digits and the true
+// error of the computed sum.
+type Fig3Order struct {
+	Counts [4]int
+	Error  float64
+}
+
+// Fig3Result reproduces Fig 3: cancellation counts versus error
+// magnitude across summation orders of one uniform [-1,1] set. The
+// paper's claim — proven by counterexample — is that cancellation
+// counts do not predict error.
+type Fig3Result struct {
+	N      int
+	Orders []Fig3Order
+	// RankCorrelation is Spearman's rho between total cancellations and
+	// error magnitude across orders (weak => counts don't predict).
+	RankCorrelation float64
+	// InversionI/J index a witness pair: order I has strictly more
+	// >=1-digit cancellations than order J but strictly less error
+	// (the paper's "order 2 vs order 4" observation). -1 when no such
+	// pair exists.
+	InversionI, InversionJ int
+}
+
+// Fig3 runs the experiment. Paper scale: 1,000 uniform [-1,1] values,
+// 100 orders, cancellations graded by CADNA (here: the cestac package).
+func Fig3(cfg Config) Fig3Result {
+	n := cfg.pick(400, 1000)
+	orders := cfg.pick(40, 100)
+	xs := gen.Uniform(n, -1, 1, cfg.Seed^0xF163)
+	ref := bigref.SumFloat64(xs)
+	r := fpu.NewRNG(cfg.Seed ^ 0x0D3)
+	res := Fig3Result{N: n, InversionI: -1, InversionJ: -1}
+	work := make([]float64, n)
+	copy(work, xs)
+	for o := 0; o < orders; o++ {
+		r.Shuffle(work)
+		ctx := cestac.NewCtx(cfg.Seed + uint64(o))
+		v := ctx.SumStandard(work)
+		res.Orders = append(res.Orders, Fig3Order{
+			Counts: ctx.Counts(),
+			Error:  math.Abs(v.Mean() - ref),
+		})
+	}
+	res.RankCorrelation = spearman(res.Orders)
+	res.InversionI, res.InversionJ = findInversion(res.Orders)
+	return res
+}
+
+// findInversion locates a pair with more cancellations but less error.
+// It maximizes the count ratio among qualifying pairs, mirroring the
+// paper's "5x the cancellations, half the error" example.
+func findInversion(orders []Fig3Order) (int, int) {
+	bi, bj, bestRatio := -1, -1, 1.0
+	for i := range orders {
+		for j := range orders {
+			ci, cj := orders[i].Counts[0], orders[j].Counts[0]
+			if cj == 0 || ci <= cj {
+				continue
+			}
+			if orders[i].Error < orders[j].Error {
+				if ratio := float64(ci) / float64(cj); ratio > bestRatio {
+					bi, bj, bestRatio = i, j, ratio
+				}
+			}
+		}
+	}
+	return bi, bj
+}
+
+// spearman computes the rank correlation between total cancellations
+// and error across orders.
+func spearman(orders []Fig3Order) float64 {
+	n := len(orders)
+	if n < 2 {
+		return 0
+	}
+	counts := make([]float64, n)
+	errs := make([]float64, n)
+	for i, o := range orders {
+		counts[i] = float64(o.Counts[0])
+		errs[i] = o.Error
+	}
+	rc, re := ranks(counts), ranks(errs)
+	var mc, me float64
+	for i := 0; i < n; i++ {
+		mc += rc[i]
+		me += re[i]
+	}
+	mc /= float64(n)
+	me /= float64(n)
+	var cov, vc, ve float64
+	for i := 0; i < n; i++ {
+		dc, de := rc[i]-mc, re[i]-me
+		cov += dc * de
+		vc += dc * dc
+		ve += de * de
+	}
+	if vc == 0 || ve == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vc*ve)
+}
+
+// ranks assigns average ranks (ties share the mean rank).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// ID implements Result.
+func (Fig3Result) ID() string { return "fig3" }
+
+// String renders per-order bars plus the headline statistics.
+func (r Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3: cancellations vs error over %d orders of %d uniform[-1,1] values\n",
+		len(r.Orders), r.N)
+	show := len(r.Orders)
+	if show > 10 {
+		show = 10
+	}
+	var rows [][]string
+	for i := 0; i < show; i++ {
+		o := r.Orders[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", o.Counts[0]),
+			fmt.Sprintf("%d", o.Counts[1]),
+			fmt.Sprintf("%d", o.Counts[2]),
+			fmt.Sprintf("%d", o.Counts[3]),
+			fmtFloat(o.Error),
+		})
+	}
+	b.WriteString(textplot.Table(
+		[]string{"order", ">=1 digit", ">=2", ">=4", ">=8", "error"}, rows))
+	fmt.Fprintf(&b, "Spearman rank correlation (cancellations vs error): %.3f\n", r.RankCorrelation)
+	if r.InversionI >= 0 {
+		oi, oj := r.Orders[r.InversionI], r.Orders[r.InversionJ]
+		fmt.Fprintf(&b,
+			"counterexample: order %d has %.1fx the cancellations of order %d but %.2fx the error\n",
+			r.InversionI+1, float64(oi.Counts[0])/float64(oj.Counts[0]),
+			r.InversionJ+1, oi.Error/oj.Error)
+	}
+	return b.String()
+}

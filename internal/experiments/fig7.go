@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/sum"
+	"repro/internal/textplot"
+	"repro/internal/tree"
+)
+
+// Fig7Panel is one of the figure's eight subplots: a tree shape, a
+// concurrency level, and the per-algorithm error distributions over
+// trees with permuted leaf assignments.
+type Fig7Panel struct {
+	Shape tree.Shape
+	N     int
+	Stats map[sum.Algorithm]metrics.Stats
+}
+
+// Fig7Result reproduces Fig 7 (a–h): error boxplots of ST/K/CP/PR over
+// 100 permuted reduction trees, for balanced and unbalanced shapes at
+// a smaller (8K) and a higher (1M) level of concurrency, on sum-to-zero
+// sets with dynamic range 32.
+type Fig7Result struct {
+	Trees  int
+	Panels []Fig7Panel
+}
+
+// Fig7 runs the experiment. Paper scale: n in {8192, 2^20}, 100 trees
+// per panel.
+func Fig7(cfg Config) Fig7Result {
+	small := cfg.pick(2048, 8192)
+	large := cfg.pick(1<<14, 1<<20)
+	trees := cfg.pick(30, 100)
+	res := Fig7Result{Trees: trees}
+	for _, shape := range []tree.Shape{tree.Balanced, tree.Unbalanced} {
+		for _, n := range []int{small, large} {
+			xs := gen.SumZeroSeries(n, 32, cfg.Seed+uint64(n))
+			ref := bigref.SumFloat64(xs)
+			panel := Fig7Panel{
+				Shape: shape,
+				N:     n,
+				Stats: make(map[sum.Algorithm]metrics.Stats, len(sum.PaperAlgorithms)),
+			}
+			for _, alg := range sum.PaperAlgorithms {
+				rng := fpu.NewRNG(cfg.Seed ^ uint64(alg)<<8 ^ uint64(n))
+				sums := grid.AlgSpread(alg, shape, xs, trees, rng)
+				panel.Stats[alg] = metrics.ErrorStats(sums, ref)
+			}
+			res.Panels = append(res.Panels, panel)
+		}
+	}
+	return res
+}
+
+// ID implements Result.
+func (Fig7Result) ID() string { return "fig7" }
+
+// panel returns the panel for (shape, size rank) — sizes are ordered
+// small, large per shape.
+func (r Fig7Result) panel(shape tree.Shape, largeN bool) *Fig7Panel {
+	for i := range r.Panels {
+		p := &r.Panels[i]
+		if p.Shape != shape {
+			continue
+		}
+		isLarge := p.N == r.maxN()
+		if isLarge == largeN {
+			return p
+		}
+	}
+	return nil
+}
+
+func (r Fig7Result) maxN() int {
+	m := 0
+	for _, p := range r.Panels {
+		if p.N > m {
+			m = p.N
+		}
+	}
+	return m
+}
+
+// SpreadLadderHolds verifies, for every panel, the paper's within-panel
+// ordering: spread(ST) >= spread(K) >= spread(CP) >= spread(PR) == 0.
+func (r Fig7Result) SpreadLadderHolds() bool {
+	for _, p := range r.Panels {
+		st := p.Stats[sum.StandardAlg].Spread()
+		k := p.Stats[sum.KahanAlg].Spread()
+		cp := p.Stats[sum.CompositeAlg].Spread()
+		pr := p.Stats[sum.PreroundedAlg].Spread()
+		if !(st >= k && k >= cp && cp >= pr && pr == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcurrencyGrowthHolds verifies the across-row observation: for ST,
+// the error spread at the higher concurrency exceeds the spread at the
+// lower one (per shape).
+func (r Fig7Result) ConcurrencyGrowthHolds() bool {
+	for _, shape := range []tree.Shape{tree.Balanced, tree.Unbalanced} {
+		lo, hi := r.panel(shape, false), r.panel(shape, true)
+		if lo == nil || hi == nil {
+			return false
+		}
+		if hi.Stats[sum.StandardAlg].Spread() < lo.Stats[sum.StandardAlg].Spread() {
+			return false
+		}
+	}
+	return true
+}
+
+// UnbalancedWorseHolds verifies the across-column observation: ST
+// varies more under unbalanced trees than balanced ones at equal n.
+func (r Fig7Result) UnbalancedWorseHolds() bool {
+	for _, largeN := range []bool{false, true} {
+		bal, unbal := r.panel(tree.Balanced, largeN), r.panel(tree.Unbalanced, largeN)
+		if bal == nil || unbal == nil {
+			return false
+		}
+		if unbal.Stats[sum.StandardAlg].Spread() < bal.Stats[sum.StandardAlg].Spread() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders all panels.
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7: error distributions over %d permuted trees (sum-zero, dr=32)\n", r.Trees)
+	for _, p := range r.Panels {
+		fmt.Fprintf(&b, "\n[%s, n=%d]\n", p.Shape, p.N)
+		labels := make([]string, 0, len(sum.PaperAlgorithms))
+		stats := make([]metrics.Stats, 0, len(sum.PaperAlgorithms))
+		for _, alg := range sum.PaperAlgorithms {
+			labels = append(labels, alg.String())
+			stats = append(stats, p.Stats[alg])
+		}
+		b.WriteString(textplot.Boxplot("error", labels, stats, 60))
+	}
+	fmt.Fprintf(&b, "\nladders: within-panel %v, concurrency growth %v, unbalanced>balanced %v\n",
+		r.SpreadLadderHolds(), r.ConcurrencyGrowthHolds(), r.UnbalancedWorseHolds())
+	return b.String()
+}

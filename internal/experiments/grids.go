@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/sum"
+	"repro/internal/textplot"
+	"repro/internal/tree"
+)
+
+// GridAlgorithms are the algorithms shown in Figs 9–11 (the paper omits
+// PR from the grids because CP and PR performed identically; we run PR
+// anyway and report it alongside).
+var GridAlgorithms = []sum.Algorithm{sum.StandardAlg, sum.KahanAlg, sum.CompositeAlg, sum.PreroundedAlg}
+
+// GridResult is the shared result shape of the three grid figures: the
+// axes, the cell results in row-major order (rows = first axis), and
+// metadata naming the fixed parameter.
+type GridResult struct {
+	Fig       string
+	RowName   string
+	ColName   string
+	RowLabels []string
+	ColLabels []string
+	Fixed     string
+	Cells     []grid.CellResult // row-major
+	Rows      int
+	Cols      int
+	Trials    int
+}
+
+// gridAxes returns the sweep axes, paper-flavored but scaled: the paper
+// fixes n=1M and uses 1000 trees per cell on a cluster; the Full scale
+// here uses n up to 2^16 and 200 trees (documented in EXPERIMENTS.md).
+func gridKs(cfg Config) []float64 {
+	if cfg.Scale == Full {
+		return []float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+	}
+	return []float64{1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e8}
+}
+
+func gridDRs(cfg Config) []int {
+	if cfg.Scale == Full {
+		return []int{0, 8, 16, 24, 32, 40, 48}
+	}
+	return []int{0, 16, 32}
+}
+
+func gridNs(cfg Config) []int {
+	if cfg.Scale == Full {
+		return []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	}
+	return []int{1 << 8, 1 << 10, 1 << 12}
+}
+
+// Fig9 sweeps (k, dr) at fixed n: rows = dr, cols = k.
+func Fig9(cfg Config) GridResult {
+	n := cfg.pick(1<<12, 1<<16)
+	trials := cfg.pick(40, 200)
+	ks, drs := gridKs(cfg), gridDRs(cfg)
+	cells := grid.KDRGrid(n, ks, drs)
+	results := grid.Sweep(cells, grid.Config{
+		Algorithms: GridAlgorithms, Trials: trials, Shape: tree.Balanced, Seed: cfg.Seed ^ 0xF169,
+	})
+	return GridResult{
+		Fig: "fig9", RowName: "dr", ColName: "k",
+		RowLabels: intLabels(drs), ColLabels: kLabels(ks),
+		Fixed: fmt.Sprintf("n=%d", n),
+		Cells: results, Rows: len(drs), Cols: len(ks), Trials: trials,
+	}
+}
+
+// Fig10 sweeps (n, dr) at fixed k = 1: rows = dr, cols = n.
+func Fig10(cfg Config) GridResult {
+	trials := cfg.pick(40, 200)
+	ns, drs := gridNs(cfg), gridDRs(cfg)
+	cells := grid.NDRGrid(ns, 1, drs)
+	results := grid.Sweep(cells, grid.Config{
+		Algorithms: GridAlgorithms, Trials: trials, Shape: tree.Balanced, Seed: cfg.Seed ^ 0xF1610,
+	})
+	return GridResult{
+		Fig: "fig10", RowName: "dr", ColName: "n",
+		RowLabels: intLabels(drs), ColLabels: intLabels(ns),
+		Fixed: "k=1",
+		Cells: results, Rows: len(drs), Cols: len(ns), Trials: trials,
+	}
+}
+
+// Fig11 sweeps (n, k) at fixed dr = 16: rows = k, cols = n.
+func Fig11(cfg Config) GridResult {
+	trials := cfg.pick(40, 200)
+	ns, ks := gridNs(cfg), gridKs(cfg)
+	cells := grid.NKGrid(ns, ks, 16)
+	results := grid.Sweep(cells, grid.Config{
+		Algorithms: GridAlgorithms, Trials: trials, Shape: tree.Balanced, Seed: cfg.Seed ^ 0xF1611,
+	})
+	return GridResult{
+		Fig: "fig11", RowName: "k", ColName: "n",
+		RowLabels: kLabels(ks), ColLabels: intLabels(ns),
+		Fixed: "dr=16",
+		Cells: results, Rows: len(ks), Cols: len(ns), Trials: trials,
+	}
+}
+
+// ID implements Result.
+func (g GridResult) ID() string { return g.Fig }
+
+// Cell returns the result at (row, col).
+func (g GridResult) Cell(row, col int) grid.CellResult { return g.Cells[row*g.Cols+col] }
+
+// Shading returns the matrix of relative error standard deviations for
+// one algorithm — the quantity the paper's grids shade.
+func (g GridResult) Shading(alg sum.Algorithm) [][]float64 {
+	out := make([][]float64, g.Rows)
+	for r := 0; r < g.Rows; r++ {
+		out[r] = make([]float64, g.Cols)
+		for c := 0; c < g.Cols; c++ {
+			out[r][c] = g.Cell(r, c).RelStdDev[alg]
+		}
+	}
+	return out
+}
+
+// MonotoneAlongCols reports whether, for alg, the shading is
+// non-decreasing along each row (allowing a fractional tolerance for
+// sampling noise: each step may dip by at most frac of the running max).
+func (g GridResult) MonotoneAlongCols(alg sum.Algorithm, frac float64) bool {
+	for r := 0; r < g.Rows; r++ {
+		runMax := 0.0
+		for c := 0; c < g.Cols; c++ {
+			v := g.Cell(r, c).RelStdDev[alg]
+			if math.IsInf(v, 1) || math.IsNaN(v) {
+				continue
+			}
+			if v < runMax*(1-frac) {
+				return false
+			}
+			if v > runMax {
+				runMax = v
+			}
+		}
+	}
+	return true
+}
+
+// String renders one heatmap per algorithm.
+func (g GridResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: relative stddev of error over %d trees per cell (%s; rows=%s, cols=%s)\n",
+		strings.ToUpper(g.Fig[:1])+g.Fig[1:], g.Trials, g.Fixed, g.RowName, g.ColName)
+	for _, alg := range GridAlgorithms {
+		b.WriteString("\n")
+		b.WriteString(textplot.Heatmap(alg.FullName(), g.RowLabels, g.ColLabels, g.Shading(alg)))
+	}
+	return b.String()
+}
+
+func intLabels(vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf("%d", v)
+	}
+	return out
+}
+
+func kLabels(ks []float64) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = fmt.Sprintf("1e%d", int(math.Round(math.Log10(k))))
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+	"repro/internal/sum"
+	"repro/internal/textplot"
+)
+
+// IntervalExtResult quantifies the paper's Section III-B verdict on
+// interval arithmetic: reproducible by design (every order's enclosure
+// contains the true sum), but (1) the enclosure width on ill-conditioned
+// data overestimates the actual error by orders of magnitude — it tracks
+// worst-case roundoff, not realized error — and (2) the slowdown is
+// large.
+type IntervalExtResult struct {
+	N int
+	// WellWidth/WellErr: enclosure width vs worst observed ST error
+	// across orders, on well-conditioned data.
+	WellWidth, WellErr float64
+	// CancelWidth/CancelErr: the same on an exactly-cancelling set.
+	CancelWidth, CancelErr float64
+	// EnclosureHeld counts orders whose enclosure contained the exact
+	// sum (must equal Orders).
+	EnclosureHeld, Orders int
+	// Slowdown is time(interval sum)/time(ST sum).
+	Slowdown float64
+}
+
+// IntervalExt runs the experiment.
+func IntervalExt(cfg Config) IntervalExtResult {
+	n := cfg.pick(4096, 1<<17)
+	orders := cfg.pick(20, 50)
+	res := IntervalExtResult{N: n, Orders: orders}
+
+	measure := func(xs []float64) (width, worstErr float64, held int) {
+		exact := bigref.SumFloat64(xs)
+		r := fpu.NewRNG(cfg.Seed ^ 0x1B)
+		work := append([]float64(nil), xs...)
+		for o := 0; o < orders; o++ {
+			r.Shuffle(work)
+			iv := interval.Sum(work)
+			if iv.Contains(exact) {
+				held++
+			}
+			if w := iv.Width(); w > width {
+				width = w
+			}
+			if e := abs(sum.Standard(work) - exact); e > worstErr {
+				worstErr = e
+			}
+		}
+		return width, worstErr, held
+	}
+
+	well := gen.Spec{N: n, Cond: 1, DynRange: 8, Seed: cfg.Seed}.Generate()
+	res.WellWidth, res.WellErr, res.EnclosureHeld = measure(well)
+	cancel := gen.SumZeroSeries(n, 32, cfg.Seed+1)
+	cw, ce, held2 := measure(cancel)
+	res.CancelWidth, res.CancelErr = cw, ce
+	res.EnclosureHeld += held2
+	res.Orders *= 2
+
+	// Slowdown: one timed pass each, warm.
+	var sink float64
+	sink = sum.Standard(well)
+	t0 := time.Now()
+	for i := 0; i < 10; i++ {
+		sink += sum.Standard(well)
+	}
+	tST := time.Since(t0)
+	_ = interval.Sum(well)
+	t1 := time.Now()
+	for i := 0; i < 10; i++ {
+		sink += interval.Sum(well).Mid()
+	}
+	tIV := time.Since(t1)
+	_ = sink
+	if tST > 0 {
+		res.Slowdown = float64(tIV) / float64(tST)
+	}
+	return res
+}
+
+// ID implements Result.
+func (IntervalExtResult) ID() string { return "ext-interval" }
+
+// WidthOverestimation returns enclosure width / worst realized error on
+// the cancelling set (the uselessness factor).
+func (r IntervalExtResult) WidthOverestimation() float64 {
+	if r.CancelErr == 0 {
+		return r.CancelWidth / metrics.MaxAbs([]float64{r.CancelErr, 1e-300})
+	}
+	return r.CancelWidth / r.CancelErr
+}
+
+// String renders the verdicts.
+func (r IntervalExtResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension (paper §III-B): interval summation, n=%d\n", r.N)
+	b.WriteString(textplot.Table([]string{"quantity", "value"}, [][]string{
+		{"enclosures containing exact sum", fmt.Sprintf("%d/%d", r.EnclosureHeld, r.Orders)},
+		{"well-conditioned: width", fmtFloat(r.WellWidth)},
+		{"well-conditioned: worst ST error", fmtFloat(r.WellErr)},
+		{"cancelling: width", fmtFloat(r.CancelWidth)},
+		{"cancelling: worst ST error", fmtFloat(r.CancelErr)},
+		{"cancelling width / realized error", fmt.Sprintf("%.1fx", r.WidthOverestimation())},
+		{"slowdown vs ST", fmt.Sprintf("%.1fx", r.Slowdown)},
+	}))
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/textplot"
+)
+
+// TableIResult reproduces the paper's Table I: the eleven sample sets
+// with their stated (dr, k), the measured values, and a generator
+// cross-check over the same (dr, k) grid at a larger n.
+type TableIResult struct {
+	Rows []TableIRowResult
+	// GenRows cross-check the workload generator: one row per (k, dr)
+	// combination of the table, generated at n=1024 and re-measured.
+	GenRows []TableIGenRow
+}
+
+// K is a condition number that JSON-encodes +Inf as the string "inf"
+// (JSON numbers cannot represent infinity).
+type K float64
+
+// MarshalJSON implements json.Marshaler.
+func (k K) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(k), 1) {
+		return []byte(`"inf"`), nil
+	}
+	return json.Marshal(float64(k))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *K) UnmarshalJSON(b []byte) error {
+	if string(b) == `"inf"` {
+		*k = K(math.Inf(1))
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*k = K(f)
+	return nil
+}
+
+// TableIRowResult is one verified literal row.
+type TableIRowResult struct {
+	Values          []float64
+	StatedDR, GotDR int
+	StatedK, GotK   K
+	DRMatch, KMatch bool
+}
+
+// TableIGenRow is one generator cross-check row.
+type TableIGenRow struct {
+	TargetK        K
+	TargetDRBits   int
+	MeasuredK      K
+	MeasuredDRBits int
+}
+
+// TableI verifies the literal Table I sample sets and cross-checks the
+// generator at the same parameter points.
+func TableI(cfg Config) TableIResult {
+	var res TableIResult
+	for _, row := range gen.TableI() {
+		r := TableIRowResult{
+			Values:   row.Values,
+			StatedDR: row.DR,
+			StatedK:  K(row.K),
+			GotDR:    metrics.DecimalDynRange(row.Values),
+			GotK:     K(metrics.CondNumber(row.Values)),
+		}
+		r.DRMatch = r.GotDR == r.StatedDR
+		switch {
+		case math.IsInf(float64(r.StatedK), 1):
+			r.KMatch = math.IsInf(float64(r.GotK), 1)
+		case r.StatedK == 1:
+			r.KMatch = r.GotK == 1
+		default:
+			r.KMatch = r.GotK >= r.StatedK/3 && r.GotK <= r.StatedK*3
+		}
+		res.Rows = append(res.Rows, r)
+	}
+	n := cfg.pick(1024, 1<<16)
+	for _, k := range []float64{1, 1000, math.Inf(1)} {
+		// Table I quotes decimal dr in {0, 8, 16}: ~{0, 27, 53} bits.
+		for _, drBits := range []int{0, 27, 53} {
+			xs := gen.Spec{N: n, Cond: k, DynRange: drBits, Seed: cfg.Seed + uint64(drBits)}.Generate()
+			res.GenRows = append(res.GenRows, TableIGenRow{
+				TargetK:        K(k),
+				TargetDRBits:   drBits,
+				MeasuredK:      K(metrics.CondNumber(xs)),
+				MeasuredDRBits: metrics.DynRange(xs),
+			})
+		}
+	}
+	return res
+}
+
+// ID implements Result.
+func (TableIResult) ID() string { return "tableI" }
+
+// AllMatch reports whether every literal row matched the paper's values.
+func (r TableIResult) AllMatch() bool {
+	for _, row := range r.Rows {
+		if !row.DRMatch || !row.KMatch {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders both tables.
+func (r TableIResult) String() string {
+	var rows [][]string
+	for i, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", row.StatedDR),
+			fmt.Sprintf("%d", row.GotDR),
+			fmtK(float64(row.StatedK)),
+			fmtK(float64(row.GotK)),
+			okMark(row.DRMatch && row.KMatch),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Table I: literal sample sets (dr decimal, k = sum|x|/|sum x|)\n")
+	b.WriteString(textplot.Table(
+		[]string{"row", "dr(paper)", "dr(meas)", "k(paper)", "k(meas)", "ok"}, rows))
+	b.WriteString("\nGenerator cross-check (dr in binary bits):\n")
+	var gens [][]string
+	for _, g := range r.GenRows {
+		gens = append(gens, []string{
+			fmtK(float64(g.TargetK)), fmt.Sprintf("%d", g.TargetDRBits),
+			fmtK(float64(g.MeasuredK)), fmt.Sprintf("%d", g.MeasuredDRBits),
+		})
+	}
+	b.WriteString(textplot.Table([]string{"k target", "dr target", "k meas", "dr meas"}, gens))
+	return b.String()
+}
+
+func fmtK(k float64) string {
+	if math.IsInf(k, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3g", k)
+}
+
+func okMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mpirt"
+	"repro/internal/textplot"
+)
+
+// TopoResult is an extension experiment (not a paper figure): it
+// reproduces the Balaji & Kimpe result the paper's Section II-B cites
+// as the reason deterministic reduction orders are untenable — a
+// topology-aware reduction tree outperforms an order-enforcing
+// reduction, and the advantage grows with the number of cores.
+type TopoResult struct {
+	Machine mpirt.Machine
+	Ns      []int
+	// Advantage[i] is the mean completion-time ratio
+	// ordered / topology-aware at Ns[i] ranks (higher = aware wins by
+	// more), averaged over placements.
+	Advantage []float64
+	Reps      int
+}
+
+// TopoExt runs the simulated-time comparison.
+func TopoExt(cfg Config) TopoResult {
+	ns := []int{64, 256, 1024}
+	if cfg.Scale == Full {
+		ns = []int{64, 256, 1024, 4096, 16384}
+	}
+	reps := cfg.pick(10, 30)
+	m := mpirt.DefaultMachine()
+	res := TopoResult{Machine: m, Ns: ns, Reps: reps}
+	for _, n := range ns {
+		total := 0.0
+		for i := 0; i < reps; i++ {
+			total += mpirt.TopologyAdvantage(m, n, cfg.Seed+uint64(n*997+i))
+		}
+		res.Advantage = append(res.Advantage, total/float64(reps))
+	}
+	return res
+}
+
+// ID implements Result.
+func (TopoResult) ID() string { return "ext-topology" }
+
+// GrowsWithScale reports whether the advantage is monotone in n.
+func (r TopoResult) GrowsWithScale() bool {
+	for i := 1; i < len(r.Advantage); i++ {
+		if r.Advantage[i] <= r.Advantage[i-1] {
+			return false
+		}
+	}
+	return len(r.Advantage) > 0 && r.Advantage[0] >= 1
+}
+
+// String renders the scaling table.
+func (r TopoResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension (paper §II-B, Balaji & Kimpe): topology-aware vs order-enforcing reduction\n")
+	fmt.Fprintf(&b, "machine: %d cores/node, intra %.3g, inter %.3g, recv %.3g, merge %.3g (%d placements each)\n",
+		r.Machine.CoresPerNode, r.Machine.IntraLat, r.Machine.InterLat,
+		r.Machine.RecvCost, r.Machine.MergeCost, r.Reps)
+	var rows [][]string
+	for i, n := range r.Ns {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2fx", r.Advantage[i]),
+		})
+	}
+	b.WriteString(textplot.Table([]string{"ranks", "aware advantage"}, rows))
+	fmt.Fprintf(&b, "advantage grows with scale: %v\n", r.GrowsWithScale())
+	return b.String()
+}

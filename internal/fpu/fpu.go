@@ -1,0 +1,135 @@
+// Package fpu provides the floating-point micro-kernels underlying every
+// summation algorithm in this repository: error-free transformations
+// (TwoSum, FastTwoSum, Veltkamp split, TwoProd), exponent and ulp helpers,
+// and the round-to-multiple extraction used by prerounded (binned)
+// summation.
+//
+// All routines operate on IEEE-754 binary64 (Go float64) and assume
+// round-to-nearest-even, which is the only rounding mode Go exposes.
+// Every error-free transformation returns the rounded result together
+// with the exact residual, so that higher-level algorithms can choose
+// how much of the error to carry.
+package fpu
+
+import "math"
+
+// MantissaBits is the number of explicit mantissa bits in binary64.
+const MantissaBits = 52
+
+// Precision is the number of significand bits (including the hidden bit).
+const Precision = 53
+
+// UnitRoundoff is u = 2^-53, the half-ulp bound for round-to-nearest.
+const UnitRoundoff = 0x1p-53
+
+// Eps is the machine epsilon 2^-52 (ulp of 1.0).
+const Eps = 0x1p-52
+
+// MinExp and MaxExp bound the unbiased exponent range of normalized
+// binary64 values as reported by math.Ilogb.
+const (
+	MinExp = -1022
+	MaxExp = 1023
+)
+
+// TwoSum computes s = fl(a+b) and the exact residual e such that
+// a + b = s + e in real arithmetic. It is Knuth's branch-free
+// error-free transformation and is valid for all finite a, b
+// (including when |b| > |a|).
+func TwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bb := s - a
+	e = (a - (s - bb)) + (b - bb)
+	return s, e
+}
+
+// FastTwoSum computes s = fl(a+b) and the exact residual e, assuming
+// |a| >= |b| (or a == 0). It is Dekker's two-operation variant; callers
+// must guarantee the magnitude ordering or the residual is wrong.
+func FastTwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	e = b - (s - a)
+	return s, e
+}
+
+// Split performs the Veltkamp split of a into hi + lo where hi holds the
+// top 26 significand bits and lo the remaining 26, both exactly
+// representable. Overflows for |a| >= 2^996; callers working near the
+// top of the range should scale first.
+func Split(a float64) (hi, lo float64) {
+	const factor = 1<<27 + 1 // 2^ceil(53/2) + 1
+	c := factor * a
+	hi = c - (c - a)
+	lo = a - hi
+	return hi, lo
+}
+
+// TwoProd computes p = fl(a*b) and the exact residual e such that
+// a*b = p + e. Uses FMA when available via math.FMA.
+func TwoProd(a, b float64) (p, e float64) {
+	p = a * b
+	e = math.FMA(a, b, -p)
+	return p, e
+}
+
+// Exponent returns the unbiased binary exponent of x, i.e. floor(log2|x|)
+// for normal x. Zero returns MinExp-Precision (treated as "below
+// everything"); subnormals return their true exponent; Inf/NaN return
+// MaxExp+1.
+func Exponent(x float64) int {
+	if x == 0 {
+		return MinExp - Precision
+	}
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return MaxExp + 1
+	}
+	return math.Ilogb(x)
+}
+
+// Ulp returns the unit in the last place of x: the gap between x and the
+// next representable value away from zero. Ulp(0) returns the smallest
+// subnormal.
+func Ulp(x float64) float64 {
+	if x == 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	e := math.Ilogb(x)
+	if e < MinExp {
+		e = MinExp
+	}
+	return math.Ldexp(1, e-MantissaBits)
+}
+
+// RoundToMultiple rounds x to the nearest multiple of 2^q (ties to even)
+// using the Dekker trick: adding and subtracting a large constant forces
+// the rounding. The result and the residual x-result are both exact.
+// Requires |x| < 2^(q+Precision-1) so that the constant dominates.
+func RoundToMultiple(x float64, q int) (rounded, residual float64) {
+	big := math.Ldexp(1.5, q+MantissaBits)
+	rounded = (big + x) - big
+	residual = x - rounded // exact: Sterbenz once rounded ~ x at scale 2^q
+	return rounded, residual
+}
+
+// SameSign reports whether a and b have the same sign bit. Zero matches
+// either sign.
+func SameSign(a, b float64) bool {
+	if a == 0 || b == 0 {
+		return true
+	}
+	return math.Signbit(a) == math.Signbit(b)
+}
+
+// AbsMax returns max(|a|, |b|).
+func AbsMax(a, b float64) float64 {
+	return math.Max(math.Abs(a), math.Abs(b))
+}
+
+// NextUp returns the least float64 greater than x.
+func NextUp(x float64) float64 { return math.Nextafter(x, math.Inf(1)) }
+
+// NextDown returns the greatest float64 less than x.
+func NextDown(x float64) float64 { return math.Nextafter(x, math.Inf(-1)) }

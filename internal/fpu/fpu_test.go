@@ -1,0 +1,346 @@
+package fpu
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func bigSum(a, b float64) *big.Float {
+	x := new(big.Float).SetPrec(200).SetFloat64(a)
+	y := new(big.Float).SetPrec(200).SetFloat64(b)
+	return x.Add(x, y)
+}
+
+func TestTwoSumExact(t *testing.T) {
+	cases := [][2]float64{
+		{1, 1e-30},
+		{1e30, -1},
+		{0.1, 0.2},
+		{-0.1, 0.1},
+		{1e16, 1},
+		{1, 1e16},
+		{0, 0},
+		{math.MaxFloat64 / 4, math.MaxFloat64 / 8},
+		{3.14e8, -3.14e8},
+		{1e-300, 1e-310},
+	}
+	for _, c := range cases {
+		s, e := TwoSum(c[0], c[1])
+		got := new(big.Float).SetPrec(200).SetFloat64(s)
+		got.Add(got, new(big.Float).SetPrec(200).SetFloat64(e))
+		want := bigSum(c[0], c[1])
+		if got.Cmp(want) != 0 {
+			t.Errorf("TwoSum(%g,%g) = (%g,%g); s+e != a+b exactly", c[0], c[1], s, e)
+		}
+	}
+}
+
+func TestTwoSumProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Avoid overflow of the intermediate sum.
+		if math.Abs(a) > math.MaxFloat64/2 || math.Abs(b) > math.MaxFloat64/2 {
+			return true
+		}
+		s, e := TwoSum(a, b)
+		got := new(big.Float).SetPrec(200).SetFloat64(s)
+		got.Add(got, new(big.Float).SetPrec(200).SetFloat64(e))
+		return got.Cmp(bigSum(a, b)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastTwoSumOrdered(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > math.MaxFloat64/2 || math.Abs(b) > math.MaxFloat64/2 {
+			return true
+		}
+		if math.Abs(a) < math.Abs(b) {
+			a, b = b, a
+		}
+		s, e := FastTwoSum(a, b)
+		got := new(big.Float).SetPrec(200).SetFloat64(s)
+		got.Add(got, new(big.Float).SetPrec(200).SetFloat64(e))
+		return got.Cmp(bigSum(a, b)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitReassembles(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 0x1p995 {
+			return true
+		}
+		hi, lo := Split(a)
+		if hi+lo != a {
+			return false
+		}
+		// hi must fit in 26 bits of significand: hi == round of a at 27-bit precision.
+		return math.Abs(lo) <= math.Abs(hi) || a == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoProdExact(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if a == 0 || b == 0 {
+			return true
+		}
+		ea, eb := Exponent(a), Exponent(b)
+		// Stay clear of overflow/underflow of the product and residual.
+		if ea+eb > 900 || ea+eb < -900 {
+			return true
+		}
+		p, e := TwoProd(a, b)
+		x := new(big.Float).SetPrec(240).SetFloat64(a)
+		y := new(big.Float).SetPrec(240).SetFloat64(b)
+		want := x.Mul(x, y)
+		got := new(big.Float).SetPrec(240).SetFloat64(p)
+		got.Add(got, new(big.Float).SetPrec(240).SetFloat64(e))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponent(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1.0, 0},
+		{1.5, 0},
+		{2.0, 1},
+		{0.5, -1},
+		{1e9, 29},
+		{-8, 3},
+		{math.SmallestNonzeroFloat64, -1074},
+		{math.MaxFloat64, 1023},
+	}
+	for _, c := range cases {
+		if got := Exponent(c.x); got != c.want {
+			t.Errorf("Exponent(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if Exponent(0) >= MinExp {
+		t.Errorf("Exponent(0) should be below MinExp, got %d", Exponent(0))
+	}
+	if Exponent(math.Inf(1)) <= MaxExp {
+		t.Errorf("Exponent(+Inf) should exceed MaxExp, got %d", Exponent(math.Inf(1)))
+	}
+}
+
+func TestUlp(t *testing.T) {
+	if got := Ulp(1.0); got != Eps {
+		t.Errorf("Ulp(1) = %g, want %g", got, Eps)
+	}
+	if got := Ulp(2.0); got != 2*Eps {
+		t.Errorf("Ulp(2) = %g, want %g", got, 2*Eps)
+	}
+	if got := Ulp(0); got != math.SmallestNonzeroFloat64 {
+		t.Errorf("Ulp(0) = %g", got)
+	}
+	// 1 + Ulp(1) must be the next float after 1.
+	if 1+Ulp(1.0) != NextUp(1.0) {
+		t.Error("1+Ulp(1) != NextUp(1)")
+	}
+}
+
+func TestRoundToMultiple(t *testing.T) {
+	// Round pi to multiples of 2^-4 = 0.0625.
+	r, res := RoundToMultiple(math.Pi, -4)
+	if r != 3.125 {
+		t.Errorf("RoundToMultiple(pi,-4) = %v, want 3.125", r)
+	}
+	if r+res != math.Pi {
+		t.Errorf("residual not exact: %v + %v != pi", r, res)
+	}
+	f := func(x float64, qRaw int8) bool {
+		q := int(qRaw % 40)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		if math.Abs(x) >= math.Ldexp(1, q+Precision-1) || math.Abs(x) < math.Ldexp(1, q-200) {
+			return true
+		}
+		r, res := RoundToMultiple(x, q)
+		// r must be a multiple of 2^q: scaling by 2^-q yields an integer.
+		scaled := math.Ldexp(r, -q)
+		if scaled != math.Trunc(scaled) {
+			return false
+		}
+		// Exactness of the decomposition.
+		if r+res != x {
+			return false
+		}
+		// Nearest: |res| <= 2^(q-1).
+		return math.Abs(res) <= math.Ldexp(1, q-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameSign(t *testing.T) {
+	if !SameSign(1, 2) || !SameSign(-1, -2) || SameSign(1, -2) {
+		t.Error("SameSign basic cases failed")
+	}
+	if !SameSign(0, -5) || !SameSign(5, 0) {
+		t.Error("zero should match either sign")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds look identical: %d matches", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(257)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(11)
+	xs := make([]float64, 100)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = float64(i)
+		sum += xs[i]
+	}
+	r.Shuffle(xs)
+	got := 0.0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("shuffle changed contents: sum %v != %v", got, sum)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(5)
+	n := 200000
+	var mean, m2 float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		mean += v
+		m2 += v * v
+	}
+	mean /= float64(n)
+	m2 /= float64(n)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean too far from 0: %v", mean)
+	}
+	if math.Abs(m2-1) > 0.05 {
+		t.Errorf("normal variance too far from 1: %v", m2)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestUlpEdges(t *testing.T) {
+	if !math.IsNaN(Ulp(math.Inf(1))) || !math.IsNaN(Ulp(math.NaN())) {
+		t.Error("Ulp of Inf/NaN should be NaN")
+	}
+	// Subnormal ulp is the smallest subnormal.
+	if got := Ulp(0x1p-1060); got != math.SmallestNonzeroFloat64 {
+		t.Errorf("subnormal ulp = %g", got)
+	}
+	// Negative values have the same ulp as their magnitude.
+	if Ulp(-2.0) != Ulp(2.0) {
+		t.Error("ulp should be sign-independent")
+	}
+}
+
+func TestAbsMax(t *testing.T) {
+	if AbsMax(-3, 2) != 3 || AbsMax(1, -4) != 4 || AbsMax(0, 0) != 0 {
+		t.Error("AbsMax wrong")
+	}
+}
+
+func TestNextUpDown(t *testing.T) {
+	if NextUp(1.0) <= 1.0 || NextDown(1.0) >= 1.0 {
+		t.Error("NextUp/NextDown ordering")
+	}
+	if NextUp(NextDown(1.0)) != 1.0 {
+		t.Error("NextUp(NextDown(1)) != 1")
+	}
+	if NextUp(0) != math.SmallestNonzeroFloat64 {
+		t.Error("NextUp(0) should be the smallest subnormal")
+	}
+}
+
+func TestRNGBoolBalance(t *testing.T) {
+	r := NewRNG(123)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < 4500 || trues > 5500 {
+		t.Errorf("Bool imbalance: %d/10000", trues)
+	}
+}

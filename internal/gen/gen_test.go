@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/superacc"
+)
+
+func TestSameSignSpec(t *testing.T) {
+	for _, dr := range []int{0, 8, 16, 32, 64} {
+		xs := Spec{N: 1000, Cond: 1, DynRange: dr, Seed: 1}.Generate()
+		if len(xs) != 1000 {
+			t.Fatalf("dr=%d: len %d", dr, len(xs))
+		}
+		if k := metrics.CondNumber(xs); k != 1 {
+			t.Errorf("dr=%d: k = %g, want exactly 1", dr, k)
+		}
+		if got := metrics.DynRange(xs); got != dr {
+			t.Errorf("dr=%d: measured dr = %d", dr, got)
+		}
+	}
+}
+
+func TestSumZeroSpec(t *testing.T) {
+	for _, dr := range []int{0, 8, 32} {
+		for _, n := range []int{4, 100, 101, 1000} {
+			xs := Spec{N: n, Cond: math.Inf(1), DynRange: dr, Seed: 2}.Generate()
+			if len(xs) != n {
+				t.Fatalf("n=%d dr=%d: len %d", n, dr, len(xs))
+			}
+			var a superacc.Acc
+			a.AddSlice(xs)
+			if !a.IsZero() {
+				t.Errorf("n=%d dr=%d: exact sum %g != 0", n, dr, a.Float64())
+			}
+			if got := metrics.DynRange(xs); got != dr {
+				t.Errorf("n=%d dr=%d: measured dr = %d", n, dr, got)
+			}
+		}
+	}
+}
+
+func TestIllConditionedTargets(t *testing.T) {
+	// Every decade of k from 10 to 1e8 must be achieved within 2x in
+	// log-space across dynamic ranges.
+	for _, dr := range []int{0, 8, 32} {
+		for _, k := range []float64{10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8} {
+			xs := Spec{N: 4096, Cond: k, DynRange: dr, Seed: 3}.Generate()
+			if len(xs) != 4096 {
+				t.Fatalf("k=%g dr=%d: len %d", k, dr, len(xs))
+			}
+			got := metrics.CondNumber(xs)
+			ratio := got / k
+			if ratio < 0.5 || ratio > 2 {
+				t.Errorf("k=%g dr=%d: achieved k = %g (ratio %.2f)", k, dr, got, ratio)
+			}
+			if gotDR := metrics.DynRange(xs); gotDR != dr {
+				t.Errorf("k=%g dr=%d: measured dr = %d", k, dr, gotDR)
+			}
+		}
+	}
+}
+
+func TestIllConditionedSmallK(t *testing.T) {
+	for _, k := range []float64{2, 3, 5} {
+		xs := Spec{N: 2000, Cond: k, DynRange: 8, Seed: 4}.Generate()
+		got := metrics.CondNumber(xs)
+		if got/k < 0.4 || got/k > 2.5 {
+			t.Errorf("k=%g: achieved %g", k, got)
+		}
+	}
+}
+
+func TestSpecDeterministic(t *testing.T) {
+	s := Spec{N: 500, Cond: 1e4, DynRange: 16, Seed: 42}
+	a := s.Generate()
+	b := s.Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same spec generated different sets")
+		}
+	}
+	s2 := s
+	s2.Seed = 43
+	c := s2.Generate()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds generated identical sets")
+	}
+}
+
+func TestSpecBaseExp(t *testing.T) {
+	xs := Spec{N: 100, Cond: 1, DynRange: 4, BaseExp: -40, Seed: 5}.Generate()
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		e := math.Ilogb(math.Abs(x))
+		if e < -40 || e > -36 {
+			t.Errorf("exponent %d outside [-40,-36]", e)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{N: 1, Cond: 1},
+		{N: 10, Cond: 0.5},
+		{N: 10, Cond: 1, DynRange: -1},
+		{N: 10, Cond: 1, DynRange: 10, BaseExp: 995},
+		{N: 10, Cond: math.NaN()},
+	}
+	for i, s := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %d should panic", i)
+				}
+			}()
+			s.Generate()
+		}()
+	}
+}
+
+func TestUniform(t *testing.T) {
+	xs := Uniform(10000, -1000, 1000, 7)
+	if len(xs) != 10000 {
+		t.Fatal("length")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var mean float64
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if lo < -1000 || hi > 1000 {
+		t.Errorf("range violated: [%g, %g]", lo, hi)
+	}
+	if hi < 500 || lo > -500 {
+		t.Error("suspiciously narrow sample")
+	}
+	if math.Abs(mean) > 30 {
+		t.Errorf("mean %g too far from 0", mean)
+	}
+}
+
+func TestSumZeroSeries(t *testing.T) {
+	xs := SumZeroSeries(8192, 32, 9)
+	var a superacc.Acc
+	a.AddSlice(xs)
+	if !a.IsZero() {
+		t.Error("series does not sum to zero exactly")
+	}
+	if dr := metrics.DynRange(xs); dr != 32 {
+		t.Errorf("dr = %d, want 32", dr)
+	}
+	if k := metrics.CondNumber(xs); !math.IsInf(k, 1) {
+		t.Errorf("k = %g, want +Inf", k)
+	}
+}
+
+func TestTableIProperties(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 11 {
+		t.Fatalf("Table I has %d rows, want 11", len(rows))
+	}
+	for i, row := range rows {
+		if got := metrics.DecimalDynRange(row.Values); got != row.DR {
+			t.Errorf("row %d: decimal dr = %d, table says %d", i, got, row.DR)
+		}
+		k := metrics.CondNumber(row.Values)
+		switch {
+		case math.IsInf(row.K, 1):
+			if !math.IsInf(k, 1) {
+				t.Errorf("row %d: k = %g, table says ∞", i, k)
+			}
+		case row.K == 1:
+			if k != 1 {
+				t.Errorf("row %d: k = %g, table says 1", i, k)
+			}
+		default:
+			// The printed values are illustrative; require the right
+			// order of magnitude.
+			if k < row.K/3 || k > row.K*3 {
+				t.Errorf("row %d: k = %g, table says %g", i, k, row.K)
+			}
+		}
+	}
+}
+
+func TestNBodyForces(t *testing.T) {
+	xs := NBodyForces(10000, 11)
+	if len(xs) != 10000 {
+		t.Fatal("length")
+	}
+	k := metrics.CondNumber(xs)
+	dr := metrics.DynRange(xs)
+	// The motivating workload: both k and dr should be large.
+	if k < 10 {
+		t.Errorf("N-body k = %g; expected ill-conditioned data", k)
+	}
+	if dr < 20 {
+		t.Errorf("N-body dr = %d; expected wide dynamic range", dr)
+	}
+}

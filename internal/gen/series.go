@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/fpu"
+)
+
+// Classic numerical-analysis series with known closed forms — canonical
+// accuracy probes for summation algorithms. Each returns the terms plus
+// the limit the partial sum approaches, so tests can measure algorithm
+// error against truth without a high-precision pass (the truncation
+// error of the series is accounted for by comparing against the exact
+// partial sum where needed).
+
+// AlternatingHarmonic returns the first n terms of 1 - 1/2 + 1/3 - ...
+// (limit ln 2). Mixed signs with slowly decaying magnitudes: a classic
+// mild-cancellation workload.
+func AlternatingHarmonic(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		t := 1 / float64(i+1)
+		if i%2 == 1 {
+			t = -t
+		}
+		xs[i] = t
+	}
+	return xs
+}
+
+// Basel returns the first n terms of sum 1/i^2 (limit pi^2/6). Same
+// sign, rapidly decaying: ascending-order summation is near-exact,
+// descending order absorbs the tail — the textbook ordering example.
+func Basel(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		f := float64(i + 1)
+		xs[i] = 1 / (f * f)
+	}
+	return xs
+}
+
+// Geometric returns n terms of ratio r starting at 1 (limit 1/(1-r)
+// for |r| < 1). With r an exact power of two the partial sums are
+// exactly representable, making it an exactness probe.
+func Geometric(n int, r float64) []float64 {
+	xs := make([]float64, n)
+	t := 1.0
+	for i := range xs {
+		xs[i] = t
+		t *= r
+	}
+	return xs
+}
+
+// RumpPolynomialTerms returns the additive terms of an evaluation in
+// the spirit of Rump's famous polynomial: enormous products that cancel
+// almost completely, leaving a small remainder that naive arithmetic
+// gets catastrophically wrong. Constructed so the exact sum is the
+// returned remainder.
+func RumpPolynomialTerms() (xs []float64, exact float64) {
+	// Pairs of huge cancelling values at descending scales plus a small
+	// survivor; all values are exact powers-of-two multiples so the
+	// true sum is exactly `exact`.
+	exact = 0x1.5p-20
+	xs = []float64{
+		0x1p90, 0x1.8p70, -0x1p90, -0x1.8p70,
+		0x1.4p55, -0x1.4p55,
+		0x1p33, -0x1p33,
+		exact,
+	}
+	return xs, exact
+}
+
+// OscillatingDecay returns n terms of sign-alternating exponential
+// decay scaled by a large carrier that cancels: sum_{i} c*(-1)^i +
+// 2^-i/8-ish noise. Its condition number grows with the carrier scale.
+func OscillatingDecay(n int, carrierExp int, seed uint64) []float64 {
+	r := fpu.NewRNG(seed ^ 0x05C1)
+	xs := make([]float64, n)
+	carrier := math.Ldexp(1, carrierExp)
+	for i := range xs {
+		c := carrier
+		if i%2 == 1 {
+			c = -carrier
+		}
+		xs[i] = c + math.Ldexp(r.Float64(), -8-i%40)
+	}
+	if n%2 == 1 {
+		xs[n-1] = math.Ldexp(r.Float64(), -8) // keep the carrier balanced
+	}
+	return xs
+}

@@ -1,0 +1,233 @@
+// Package grid implements the parameter-space methodology of the paper's
+// Section V-C (illustrated by its Fig 8): the spaces (k, dr), (n, dr),
+// and (n, k) are covered by a grid of cells; for each cell an operand
+// set with the cell's parameters is generated and summed over many
+// distinct reduction trees; and the cell is scored by the standard
+// deviation of the errors — the visualized "level of irreproducibility".
+//
+// Cells are evaluated concurrently (one worker per CPU), since each cell
+// is an independent simulation.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/sum"
+	"repro/internal/tree"
+)
+
+// CellSpec locates one cell in the parameter space.
+type CellSpec struct {
+	N        int
+	Cond     float64
+	DynRange int
+}
+
+// String renders the cell coordinates.
+func (c CellSpec) String() string {
+	return fmt.Sprintf("(n=%d, k=%g, dr=%d)", c.N, c.Cond, c.DynRange)
+}
+
+// CellResult is the measured irreproducibility of one cell.
+type CellResult struct {
+	Spec CellSpec
+	// MeasuredK and MeasuredDR are the achieved properties of the
+	// generated set (the generator hits dr exactly and k approximately).
+	MeasuredK  float64
+	MeasuredDR int
+	// StdDev[alg] is the standard deviation of the absolute errors over
+	// the sampled reduction trees.
+	StdDev map[sum.Algorithm]float64
+	// RelStdDev[alg] is StdDev normalized by |exact sum| — the
+	// conditioning-aware variability that shades Figs 9–12 (the paper's
+	// k axis acts through the relative, not absolute, error). For cells
+	// whose exact sum is zero it is 0 when the algorithm is perfectly
+	// reproducible and +Inf otherwise.
+	RelStdDev map[sum.Algorithm]float64
+	// MaxErr[alg] is the worst absolute error observed.
+	MaxErr map[sum.Algorithm]float64
+	// Distinct[alg] counts distinct result bit patterns; 1 = bitwise
+	// reproducible over the sample.
+	Distinct map[sum.Algorithm]int
+}
+
+// Config tunes a sweep.
+type Config struct {
+	// Algorithms to evaluate per cell (default: the paper's four).
+	Algorithms []sum.Algorithm
+	// Trials is the number of distinct reduction trees per cell
+	// (the paper uses 1000 balanced trees).
+	Trials int
+	// Shape of the reduction trees (the paper's grids use Balanced).
+	Shape tree.Shape
+	// Seed makes the sweep reproducible.
+	Seed uint64
+	// Workers bounds concurrency (default: GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = sum.PaperAlgorithms
+	}
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// KDRGrid enumerates the (k, dr) space at fixed n — Fig 9's axes.
+func KDRGrid(n int, ks []float64, drs []int) []CellSpec {
+	var cells []CellSpec
+	for _, dr := range drs {
+		for _, k := range ks {
+			cells = append(cells, CellSpec{N: n, Cond: k, DynRange: dr})
+		}
+	}
+	return cells
+}
+
+// NDRGrid enumerates the (n, dr) space at fixed k — Fig 10's axes.
+func NDRGrid(ns []int, k float64, drs []int) []CellSpec {
+	var cells []CellSpec
+	for _, dr := range drs {
+		for _, n := range ns {
+			cells = append(cells, CellSpec{N: n, Cond: k, DynRange: dr})
+		}
+	}
+	return cells
+}
+
+// NKGrid enumerates the (n, k) space at fixed dr — Fig 11's axes.
+func NKGrid(ns []int, ks []float64, dr int) []CellSpec {
+	var cells []CellSpec
+	for _, k := range ks {
+		for _, n := range ns {
+			cells = append(cells, CellSpec{N: n, Cond: k, DynRange: dr})
+		}
+	}
+	return cells
+}
+
+// Sweep evaluates every cell and returns results in the cells' order.
+func Sweep(cells []CellSpec, cfg Config) []CellResult {
+	cfg = cfg.withDefaults()
+	out := make([]CellResult, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, cell := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cell CellSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = EvalCell(cell, cfg, cfg.Seed^uint64(i)*0x9e3779b97f4a7c15)
+		}(i, cell)
+	}
+	wg.Wait()
+	return out
+}
+
+// EvalCell generates the cell's operand set and measures per-algorithm
+// error spreads over cfg.Trials random reduction trees.
+func EvalCell(cell CellSpec, cfg Config, seed uint64) CellResult {
+	cfg = cfg.withDefaults()
+	xs := gen.Spec{
+		N:        cell.N,
+		Cond:     cell.Cond,
+		DynRange: cell.DynRange,
+		Seed:     seed,
+	}.Generate()
+	ref := bigref.SumFloat64(xs)
+	res := CellResult{
+		Spec:       cell,
+		MeasuredK:  metrics.CondNumber(xs),
+		MeasuredDR: metrics.DynRange(xs),
+		StdDev:     make(map[sum.Algorithm]float64, len(cfg.Algorithms)),
+		RelStdDev:  make(map[sum.Algorithm]float64, len(cfg.Algorithms)),
+		MaxErr:     make(map[sum.Algorithm]float64, len(cfg.Algorithms)),
+		Distinct:   make(map[sum.Algorithm]int, len(cfg.Algorithms)),
+	}
+	for _, alg := range cfg.Algorithms {
+		rng := fpu.NewRNG(seed ^ uint64(alg+1)*0xD1B54A32D192ED03)
+		sums := AlgSpread(alg, cfg.Shape, xs, cfg.Trials, rng)
+		st := metrics.ErrorStats(sums, ref)
+		res.StdDev[alg] = st.StdDev
+		res.MaxErr[alg] = st.Max
+		res.Distinct[alg] = metrics.DistinctValues(sums)
+		switch {
+		case st.StdDev == 0:
+			res.RelStdDev[alg] = 0
+		case ref == 0:
+			res.RelStdDev[alg] = math.Inf(1)
+		default:
+			res.RelStdDev[alg] = st.StdDev / math.Abs(ref)
+		}
+	}
+	return res
+}
+
+// AlgSpread runs trials random-assignment trees of the given shape over
+// xs with algorithm alg, returning the root sums (dynamic dispatch over
+// the generic tree executors).
+func AlgSpread(alg sum.Algorithm, shape tree.Shape, xs []float64, trials int, rng *fpu.RNG) []float64 {
+	switch alg {
+	case sum.StandardAlg, sum.PairwiseAlg:
+		return tree.Spread[float64](sum.STMonoid{}, shape, xs, trials, rng)
+	case sum.KahanAlg:
+		return tree.Spread[sum.KState](sum.KahanMonoid{}, shape, xs, trials, rng)
+	case sum.NeumaierAlg:
+		return tree.Spread[sum.NState](sum.NeumaierMonoid{}, shape, xs, trials, rng)
+	case sum.CompositeAlg:
+		return tree.Spread(sum.CPMonoid{}, shape, xs, trials, rng)
+	case sum.PreroundedAlg:
+		return tree.Spread[sum.PRState](sum.DefaultPRConfig().Monoid(), shape, xs, trials, rng)
+	}
+	panic("grid: invalid algorithm " + alg.String())
+}
+
+// CheapestAcceptable returns the cheapest algorithm (by CostRank) whose
+// relative error standard deviation in res is at or below threshold —
+// the Fig 12 classification. ok is false when none qualifies.
+func CheapestAcceptable(res CellResult, threshold float64) (alg sum.Algorithm, ok bool) {
+	best := sum.Algorithm(0)
+	found := false
+	for a, sd := range res.RelStdDev {
+		if sd > threshold || math.IsNaN(sd) {
+			continue
+		}
+		if !found || a.CostRank() < best.CostRank() {
+			best, found = a, true
+		}
+	}
+	return best, found
+}
+
+// Classify maps every cell to its cheapest acceptable algorithm for each
+// threshold, returning one classification slice per threshold (entries
+// are -1 where no algorithm qualifies). This is the full Fig 12 series.
+func Classify(results []CellResult, thresholds []float64) [][]int {
+	out := make([][]int, len(thresholds))
+	for ti, th := range thresholds {
+		row := make([]int, len(results))
+		for i, res := range results {
+			if alg, ok := CheapestAcceptable(res, th); ok {
+				row[i] = int(alg)
+			} else {
+				row[i] = -1
+			}
+		}
+		out[ti] = row
+	}
+	return out
+}

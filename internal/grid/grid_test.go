@@ -1,0 +1,167 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sum"
+	"repro/internal/tree"
+)
+
+func TestGridBuilders(t *testing.T) {
+	ks := []float64{1, 100, math.Inf(1)}
+	drs := []int{0, 8}
+	kdr := KDRGrid(1000, ks, drs)
+	if len(kdr) != 6 {
+		t.Fatalf("KDRGrid size %d", len(kdr))
+	}
+	for _, c := range kdr {
+		if c.N != 1000 {
+			t.Error("KDRGrid should fix n")
+		}
+	}
+	ndr := NDRGrid([]int{10, 20}, 1, drs)
+	if len(ndr) != 4 || ndr[0].Cond != 1 {
+		t.Errorf("NDRGrid wrong: %v", ndr)
+	}
+	nk := NKGrid([]int{10, 20}, ks, 8)
+	if len(nk) != 6 || nk[0].DynRange != 8 {
+		t.Errorf("NKGrid wrong: %v", nk)
+	}
+}
+
+func TestEvalCellShape(t *testing.T) {
+	cell := CellSpec{N: 512, Cond: math.Inf(1), DynRange: 16}
+	cfg := Config{Trials: 30, Shape: tree.Balanced, Seed: 1}
+	res := EvalCell(cell, cfg, 7)
+	if res.MeasuredDR != 16 {
+		t.Errorf("measured dr = %d", res.MeasuredDR)
+	}
+	if !math.IsInf(res.MeasuredK, 1) {
+		t.Errorf("measured k = %g, want Inf", res.MeasuredK)
+	}
+	// PR must be bitwise reproducible: stddev exactly 0, 1 distinct value.
+	if res.StdDev[sum.PreroundedAlg] != 0 || res.Distinct[sum.PreroundedAlg] != 1 {
+		t.Errorf("PR not reproducible in cell: sd=%g distinct=%d",
+			res.StdDev[sum.PreroundedAlg], res.Distinct[sum.PreroundedAlg])
+	}
+	// ST must vary on an ill-conditioned wide-range cell.
+	if res.Distinct[sum.StandardAlg] < 2 {
+		t.Error("ST unexpectedly reproducible on hard cell")
+	}
+}
+
+func TestStdDevLadderUnbalanced(t *testing.T) {
+	// On serial (unbalanced) trees the compensated operators separate
+	// clearly: sd(CP) <= sd(K) <= sd(ST).
+	cell := CellSpec{N: 2048, Cond: math.Inf(1), DynRange: 24}
+	res := EvalCell(cell, Config{Trials: 100, Shape: tree.Unbalanced, Seed: 11}, 11)
+	st, k, cp := res.StdDev[sum.StandardAlg], res.StdDev[sum.KahanAlg], res.StdDev[sum.CompositeAlg]
+	if cp > k || k > st {
+		t.Errorf("stddev ladder violated: ST=%g K=%g CP=%g", st, k, cp)
+	}
+	if st == 0 {
+		t.Error("ST should vary on this cell")
+	}
+}
+
+func TestSweepOrderAndDeterminism(t *testing.T) {
+	cells := KDRGrid(256, []float64{1, 1e4}, []int{0, 8})
+	cfg := Config{Trials: 10, Shape: tree.Balanced, Seed: 5, Workers: 4}
+	a := Sweep(cells, cfg)
+	b := Sweep(cells, cfg)
+	if len(a) != len(cells) {
+		t.Fatalf("result count %d", len(a))
+	}
+	for i := range a {
+		if a[i].Spec != cells[i] {
+			t.Errorf("result %d out of order", i)
+		}
+		for _, alg := range sum.PaperAlgorithms {
+			if a[i].StdDev[alg] != b[i].StdDev[alg] {
+				t.Errorf("sweep not deterministic at cell %d alg %v", i, alg)
+			}
+		}
+	}
+}
+
+func TestVariabilityGrowsWithK(t *testing.T) {
+	// Fig 9's central observation: ST stddev grows strongly with k.
+	cells := []CellSpec{
+		{N: 1024, Cond: 1, DynRange: 8},
+		{N: 1024, Cond: 1e6, DynRange: 8},
+	}
+	res := Sweep(cells, Config{Trials: 50, Shape: tree.Balanced, Seed: 2})
+	low, high := res[0].RelStdDev[sum.StandardAlg], res[1].RelStdDev[sum.StandardAlg]
+	if high <= low {
+		t.Errorf("ST relative stddev did not grow with k: k=1 -> %g, k=1e6 -> %g", low, high)
+	}
+	if high < low*100 {
+		t.Errorf("expected strong k dependence, got %gx", high/low)
+	}
+}
+
+func TestCheapestAcceptable(t *testing.T) {
+	res := CellResult{
+		RelStdDev: map[sum.Algorithm]float64{
+			sum.StandardAlg:   1e-10,
+			sum.KahanAlg:      1e-13,
+			sum.CompositeAlg:  1e-16,
+			sum.PreroundedAlg: 0,
+		},
+	}
+	if alg, ok := CheapestAcceptable(res, 1e-9); !ok || alg != sum.StandardAlg {
+		t.Errorf("loose threshold: %v %v", alg, ok)
+	}
+	if alg, ok := CheapestAcceptable(res, 1e-12); !ok || alg != sum.KahanAlg {
+		t.Errorf("mid threshold: %v %v", alg, ok)
+	}
+	if alg, ok := CheapestAcceptable(res, 1e-15); !ok || alg != sum.CompositeAlg {
+		t.Errorf("tight threshold: %v %v", alg, ok)
+	}
+	if alg, ok := CheapestAcceptable(res, 0); !ok || alg != sum.PreroundedAlg {
+		t.Errorf("zero threshold: %v %v", alg, ok)
+	}
+	none := CellResult{RelStdDev: map[sum.Algorithm]float64{sum.StandardAlg: 1}}
+	if _, ok := CheapestAcceptable(none, 1e-20); ok {
+		t.Error("nothing should qualify")
+	}
+}
+
+func TestClassifyMonotoneInThreshold(t *testing.T) {
+	// As the threshold tightens, the required algorithm's cost rank must
+	// not decrease (Fig 12's progression).
+	cells := KDRGrid(512, []float64{1, 1e3, math.Inf(1)}, []int{0, 16})
+	res := Sweep(cells, Config{Trials: 40, Shape: tree.Balanced, Seed: 3})
+	thresholds := []float64{1e-9, 1e-12, 1e-15, 0}
+	classes := Classify(res, thresholds)
+	if len(classes) != len(thresholds) {
+		t.Fatal("classification row count")
+	}
+	for i := range cells {
+		prevRank := -1
+		for ti := range thresholds {
+			c := classes[ti][i]
+			rank := 1 << 30 // "nothing qualifies" is costliest
+			if c >= 0 {
+				rank = sum.Algorithm(c).CostRank()
+			}
+			if rank < prevRank {
+				t.Errorf("cell %d: rank decreased when tightening threshold (%d -> %d)",
+					i, prevRank, rank)
+			}
+			prevRank = rank
+		}
+	}
+	// At threshold 0 only algorithms that were bitwise reproducible on
+	// the cell qualify. CP often achieves that on moderate cells (the
+	// paper saw CP and PR perform identically); PR always does.
+	for i, c := range classes[len(thresholds)-1] {
+		if c != int(sum.PreroundedAlg) && c != int(sum.CompositeAlg) {
+			t.Errorf("cell %d at t=0: class %d, want CP or PR", i, c)
+		}
+		if c >= 0 && res[i].Distinct[sum.Algorithm(c)] != 1 {
+			t.Errorf("cell %d: classified algorithm was not reproducible", i)
+		}
+	}
+}

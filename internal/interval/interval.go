@@ -1,0 +1,151 @@
+// Package interval implements directed-rounding interval arithmetic,
+// the technique the paper's Section III-B surveys: every value is an
+// interval [Lo, Hi] guaranteed to contain the exact real result. The
+// technique is "reproducible by design" — the enclosure is valid for
+// every evaluation order — but the paper excludes it from its study
+// because of its slowdown and because interval widths blow up on
+// cancelling data; this package exists to reproduce those two claims
+// quantitatively (experiments.IntervalExt).
+//
+// Go exposes only round-to-nearest, so directed rounding is emulated
+// conservatively: each endpoint operation is widened by one ulp step
+// (math.Nextafter) unless the operation is known exact via its TwoSum
+// residual. The enclosure property is therefore preserved (the step is
+// at least as wide as the true directed-rounding result), at the price
+// of intervals up to one ulp wider per operation than a hardware
+// implementation — immaterial for the growth claims studied here.
+package interval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fpu"
+)
+
+// Interval is a closed real interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// FromFloat64 lifts an exact float64 into a degenerate interval.
+func FromFloat64(x float64) Interval { return Interval{Lo: x, Hi: x} }
+
+// New constructs an interval, normalizing endpoint order.
+func New(lo, hi float64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Width returns Hi - Lo (rounded up one step to stay conservative).
+func (a Interval) Width() float64 {
+	w := a.Hi - a.Lo
+	if w == 0 {
+		return 0
+	}
+	return fpu.NextUp(w)
+}
+
+// Mid returns the midpoint (a best-estimate scalar).
+func (a Interval) Mid() float64 {
+	// Avoid overflow for huge endpoints.
+	return a.Lo/2 + a.Hi/2
+}
+
+// Contains reports whether x lies in [Lo, Hi].
+func (a Interval) Contains(x float64) bool { return a.Lo <= x && x <= a.Hi }
+
+// ContainsInterval reports whether b is entirely inside a.
+func (a Interval) ContainsInterval(b Interval) bool {
+	return a.Lo <= b.Lo && b.Hi <= a.Hi
+}
+
+// IsValid reports Lo <= Hi and no NaN endpoints.
+func (a Interval) IsValid() bool {
+	return !(math.IsNaN(a.Lo) || math.IsNaN(a.Hi)) && a.Lo <= a.Hi
+}
+
+// String renders the interval.
+func (a Interval) String() string {
+	return fmt.Sprintf("[%.17g, %.17g]", a.Lo, a.Hi)
+}
+
+// downward returns s if fl(x+y) = s was exact or rounded toward -inf
+// already covers the true value; otherwise one step down.
+func downward(s, residual float64) float64 {
+	if residual < 0 {
+		// True value below the rounded sum.
+		return fpu.NextDown(s)
+	}
+	return s
+}
+
+// upward is the mirror of downward.
+func upward(s, residual float64) float64 {
+	if residual > 0 {
+		return fpu.NextUp(s)
+	}
+	return s
+}
+
+// Add returns an enclosure of a + b.
+func (a Interval) Add(b Interval) Interval {
+	lo, el := fpu.TwoSum(a.Lo, b.Lo)
+	hi, eh := fpu.TwoSum(a.Hi, b.Hi)
+	return Interval{Lo: downward(lo, el), Hi: upward(hi, eh)}
+}
+
+// AddFloat64 returns an enclosure of a + x.
+func (a Interval) AddFloat64(x float64) Interval {
+	return a.Add(FromFloat64(x))
+}
+
+// Neg returns -a.
+func (a Interval) Neg() Interval { return Interval{Lo: -a.Hi, Hi: -a.Lo} }
+
+// Sub returns an enclosure of a - b.
+func (a Interval) Sub(b Interval) Interval { return a.Add(b.Neg()) }
+
+// Mul returns an enclosure of a * b (four-corner product with directed
+// widening on inexact corners).
+func (a Interval) Mul(b Interval) Interval {
+	corners := [4][2]float64{
+		{a.Lo, b.Lo}, {a.Lo, b.Hi}, {a.Hi, b.Lo}, {a.Hi, b.Hi},
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range corners {
+		p, e := fpu.TwoProd(c[0], c[1])
+		if d := downward(p, e); d < lo {
+			lo = d
+		}
+		if u := upward(p, e); u > hi {
+			hi = u
+		}
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Sum returns an enclosure of the exact sum of xs; by construction the
+// same enclosure is valid for every summation order.
+func Sum(xs []float64) Interval {
+	acc := FromFloat64(0)
+	for _, x := range xs {
+		acc = acc.AddFloat64(x)
+	}
+	return acc
+}
+
+// SumMonoid is the tree-mergeable form: partial enclosures add.
+type SumMonoid struct{}
+
+// Leaf lifts an operand.
+func (SumMonoid) Leaf(x float64) Interval { return FromFloat64(x) }
+
+// Merge combines two partial enclosures.
+func (SumMonoid) Merge(a, b Interval) Interval { return a.Add(b) }
+
+// Finalize returns the midpoint; callers wanting the enclosure keep the
+// state.
+func (SumMonoid) Finalize(s Interval) float64 { return s.Mid() }

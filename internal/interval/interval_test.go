@@ -1,0 +1,165 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/reduce"
+)
+
+func TestEnclosureBasic(t *testing.T) {
+	a := FromFloat64(0.1).Add(FromFloat64(0.2))
+	if !a.Contains(0.3) || !a.IsValid() {
+		t.Errorf("0.1+0.2 enclosure %v misses 0.3", a)
+	}
+	if a.Width() > 1e-15 {
+		t.Errorf("enclosure too wide: %g", a.Width())
+	}
+}
+
+func TestExactOpsStayDegenerate(t *testing.T) {
+	a := FromFloat64(1).Add(FromFloat64(2))
+	if a.Lo != 3 || a.Hi != 3 {
+		t.Errorf("exact add widened: %v", a)
+	}
+	m := FromFloat64(3).Mul(FromFloat64(4))
+	if m.Lo != 12 || m.Hi != 12 {
+		t.Errorf("exact mul widened: %v", m)
+	}
+}
+
+func TestSumEnclosesExactProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		r := fpu.NewRNG(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(60)-30)
+		}
+		iv := Sum(xs)
+		exact := bigref.SumFloat64(xs)
+		return iv.IsValid() && iv.Contains(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnclosureOrderIndependentValidity(t *testing.T) {
+	// Different orders give (possibly) different enclosures, but every
+	// enclosure contains the exact sum and the true result of any other
+	// order — the "reproducible by design" property.
+	r := fpu.NewRNG(2)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(40)-20)
+	}
+	exact := bigref.SumFloat64(xs)
+	for trial := 0; trial < 20; trial++ {
+		r.Shuffle(xs)
+		if iv := Sum(xs); !iv.Contains(exact) {
+			t.Fatalf("order %d enclosure %v lost the exact sum %g", trial, iv, exact)
+		}
+	}
+}
+
+func TestWidthBlowsUpOnCancellation(t *testing.T) {
+	// The paper's reason to exclude intervals: on cancelling data the
+	// enclosure width dwarfs the exact result.
+	r := fpu.NewRNG(3)
+	xs := make([]float64, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		v := math.Ldexp(r.Float64()+0.5, r.Intn(32))
+		xs = append(xs, v, -v)
+	}
+	r.Shuffle(xs)
+	iv := Sum(xs)
+	if !iv.Contains(0) {
+		t.Fatal("lost the exact zero")
+	}
+	// Width is enormous relative to the exact sum (0): it reflects
+	// accumulated worst-case roundoff, not the actual error.
+	if iv.Width() < 1e-10 {
+		t.Errorf("expected wide enclosure on cancelling data, got %g", iv.Width())
+	}
+}
+
+func TestTreeMergeEnclosure(t *testing.T) {
+	r := fpu.NewRNG(4)
+	xs := make([]float64, 777)
+	for i := range xs {
+		xs[i] = r.Float64()*2 - 1
+	}
+	exact := bigref.SumFloat64(xs)
+	m := SumMonoid{}
+	// Balanced and serial trees both enclose.
+	serialSt := m.Leaf(xs[0])
+	for _, x := range xs[1:] {
+		serialSt = m.Merge(serialSt, m.Leaf(x))
+	}
+	if !serialSt.Contains(exact) {
+		t.Error("serial merge enclosure lost the exact sum")
+	}
+	if got := reduce.Pairwise[Interval](m, xs, nil); math.Abs(got-exact) > serialSt.Width() {
+		t.Errorf("balanced midpoint %g too far from exact %g", got, exact)
+	}
+}
+
+func TestMulEnclosure(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		vals := []float64{a, b, c, d}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		x, y := New(a, b), New(c, d)
+		p := x.Mul(y)
+		// The product of the midpoints must be inside.
+		return p.IsValid() && p.Contains(x.Mid()*y.Mid()) || !x.IsValid() || !y.IsValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubAndNeg(t *testing.T) {
+	a := New(1, 2)
+	n := a.Neg()
+	if n.Lo != -2 || n.Hi != -1 {
+		t.Errorf("Neg = %v", n)
+	}
+	d := a.Sub(a)
+	if !d.Contains(0) {
+		t.Errorf("a-a enclosure %v misses 0", d)
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	if !New(0, 10).ContainsInterval(New(2, 3)) {
+		t.Error("containment failed")
+	}
+	if New(0, 10).ContainsInterval(New(2, 30)) {
+		t.Error("false containment")
+	}
+}
+
+func TestMidNoOverflow(t *testing.T) {
+	a := New(math.MaxFloat64/1.5, math.MaxFloat64)
+	if math.IsInf(a.Mid(), 0) {
+		t.Error("midpoint overflowed")
+	}
+}
+
+func TestStringAndValidity(t *testing.T) {
+	if New(1, 2).String() == "" {
+		t.Error("empty string")
+	}
+	bad := Interval{Lo: math.NaN(), Hi: 1}
+	if bad.IsValid() {
+		t.Error("NaN interval reported valid")
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import "math"
+
+// Histogram bins the log10 magnitudes of a sample — the natural view of
+// error distributions that span decades (Fig 2's x-axis).
+type Histogram struct {
+	// LogLo/LogHi bound the binned range in log10 units.
+	LogLo, LogHi float64
+	Counts       []int
+	// Zeros counts exact zeros (unrepresentable on a log axis).
+	Zeros int
+}
+
+// LogHistogram builds a histogram of log10|x| with the given number of
+// bins spanning the sample's nonzero magnitude range. Returns a
+// zero-bin histogram for all-zero or empty samples.
+func LogHistogram(sample []float64, bins int) Histogram {
+	if bins < 1 {
+		bins = 10
+	}
+	h := Histogram{}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range sample {
+		a := math.Abs(v)
+		if a == 0 || math.IsInf(a, 0) || math.IsNaN(a) {
+			continue
+		}
+		lo = math.Min(lo, a)
+		hi = math.Max(hi, a)
+	}
+	for _, v := range sample {
+		if v == 0 {
+			h.Zeros++
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return h
+	}
+	h.LogLo = math.Log10(lo)
+	h.LogHi = math.Log10(hi)
+	if h.LogHi <= h.LogLo {
+		h.LogHi = h.LogLo + 1
+	}
+	h.Counts = make([]int, bins)
+	span := h.LogHi - h.LogLo
+	for _, v := range sample {
+		a := math.Abs(v)
+		if a == 0 || math.IsInf(a, 0) || math.IsNaN(a) {
+			continue
+		}
+		idx := int((math.Log10(a) - h.LogLo) / span * float64(bins))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// Total returns the number of binned (nonzero finite) observations.
+func (h Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinCenter returns the magnitude at the center of bin i.
+func (h Histogram) BinCenter(i int) float64 {
+	if len(h.Counts) == 0 {
+		return 0
+	}
+	span := h.LogHi - h.LogLo
+	frac := (float64(i) + 0.5) / float64(len(h.Counts))
+	return math.Pow(10, h.LogLo+frac*span)
+}

@@ -1,0 +1,231 @@
+// Package metrics computes the quantities the paper uses to characterize
+// operand sets and result distributions: the sum condition number, the
+// dynamic range, worst-case error bounds (analytic and statistical), and
+// the descriptive statistics (standard deviation, boxplot five-number
+// summaries) behind every figure.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/fpu"
+	"repro/internal/superacc"
+)
+
+// CondNumber returns the sum condition number k = sum|x| / |sum x|,
+// computed exactly (both reductions use the exact superaccumulator).
+// Sets whose exact sum is zero have k = +Inf, matching the paper's
+// "condition number infinity means the sum of all the values is 0".
+func CondNumber(xs []float64) float64 {
+	var num, den superacc.Acc
+	for _, x := range xs {
+		num.Add(math.Abs(x))
+		den.Add(x)
+	}
+	n := num.Float64()
+	if den.IsZero() {
+		if n == 0 {
+			return 1 // empty or all-zero set: perfectly conditioned
+		}
+		return math.Inf(1)
+	}
+	return n / math.Abs(den.Float64())
+}
+
+// DynRange returns the binary dynamic range of xs: the difference
+// between the largest and smallest binary exponent among the nonzero
+// values. Zero means all nonzero values share one exponent. The paper
+// quotes dynamic ranges in decimal digits in Table I; see
+// DecimalDynRange for that convention (1 decimal ≈ 3.32 binary).
+func DynRange(xs []float64) int {
+	lo, hi, any := 0, 0, false
+	for _, x := range xs {
+		if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		e := fpu.Exponent(x)
+		if !any {
+			lo, hi, any = e, e, true
+			continue
+		}
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if !any {
+		return 0
+	}
+	return hi - lo
+}
+
+// DecimalDynRange returns the dynamic range in decimal exponent digits,
+// the convention of the paper's Table I.
+func DecimalDynRange(xs []float64) int {
+	lo, hi, any := 0, 0, false
+	for _, x := range xs {
+		if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		e := int(math.Floor(math.Log10(math.Abs(x))))
+		if !any {
+			lo, hi, any = e, e, true
+			continue
+		}
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if !any {
+		return 0
+	}
+	return hi - lo
+}
+
+// AbsSum returns sum(|x|) computed exactly and rounded once.
+func AbsSum(xs []float64) float64 {
+	var a superacc.Acc
+	for _, x := range xs {
+		a.Add(math.Abs(x))
+	}
+	return a.Float64()
+}
+
+// MaxAbs returns max(|x|).
+func MaxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AnalyticBound returns the deterministic worst-case absolute error
+// bound for summing xs in any order: n * u * sum|x| (Higham), the bound
+// Fig 2 shows to be a gross overestimate.
+func AnalyticBound(xs []float64) float64 {
+	n := float64(len(xs))
+	return n * fpu.UnitRoundoff * AbsSum(xs)
+}
+
+// StatisticalBound returns the probabilistic ("statistical worst-case")
+// error bound sqrt(n) * u * sum|x|, the shape of Higham's probabilistic
+// analysis under random rounding; Fig 2's second reference line.
+func StatisticalBound(xs []float64) float64 {
+	n := float64(len(xs))
+	return math.Sqrt(n) * fpu.UnitRoundoff * AbsSum(xs)
+}
+
+// Stats is a descriptive summary of a sample.
+type Stats struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Max         float64
+	Median           float64
+	Q1, Q3           float64 // quartiles
+	WhiskLo, WhiskHi float64 // Tukey whiskers (1.5*IQR fences clamped to data)
+	Outliers         []float64
+}
+
+// Spread returns Max - Min.
+func (s Stats) Spread() float64 { return s.Max - s.Min }
+
+// IQR returns the interquartile range.
+func (s Stats) IQR() float64 { return s.Q3 - s.Q1 }
+
+// Describe computes descriptive statistics of sample (boxplot-ready).
+// An empty sample returns the zero Stats.
+func Describe(sample []float64) Stats {
+	n := len(sample)
+	if n == 0 {
+		return Stats{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	var st Stats
+	st.N = n
+	st.Min, st.Max = sorted[0], sorted[n-1]
+	st.Median = quantile(sorted, 0.5)
+	st.Q1 = quantile(sorted, 0.25)
+	st.Q3 = quantile(sorted, 0.75)
+	// Mean and variance via exact accumulation of the moments.
+	var sum1, sum2 superacc.Acc
+	for _, v := range sorted {
+		sum1.Add(v)
+		sum2.Add(v * v)
+	}
+	mean := sum1.Float64() / float64(n)
+	st.Mean = mean
+	if n > 1 {
+		// Var = (sum2 - n*mean^2) / (n-1), guarded against tiny negatives.
+		v := (sum2.Float64() - float64(n)*mean*mean) / float64(n-1)
+		if v > 0 {
+			st.StdDev = math.Sqrt(v)
+		}
+	}
+	fenceLo := st.Q1 - 1.5*st.IQR()
+	fenceHi := st.Q3 + 1.5*st.IQR()
+	st.WhiskLo, st.WhiskHi = st.Median, st.Median
+	first := true
+	for _, v := range sorted {
+		if v < fenceLo || v > fenceHi {
+			st.Outliers = append(st.Outliers, v)
+			continue
+		}
+		if first {
+			st.WhiskLo = v
+			first = false
+		}
+		st.WhiskHi = v
+	}
+	return st
+}
+
+// quantile interpolates the q-quantile of a sorted sample (type 7).
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Errors maps computed sums to absolute errors against a reference.
+func Errors(sums []float64, reference float64) []float64 {
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		out[i] = math.Abs(s - reference)
+	}
+	return out
+}
+
+// ErrorStats is shorthand for Describe(Errors(sums, ref)).
+func ErrorStats(sums []float64, reference float64) Stats {
+	return Describe(Errors(sums, reference))
+}
+
+// DistinctValues returns the number of distinct float64 bit patterns in
+// sums — 1 means bitwise reproducible across the sample.
+func DistinctValues(sums []float64) int {
+	seen := make(map[uint64]struct{}, len(sums))
+	for _, s := range sums {
+		seen[math.Float64bits(s)] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpu"
+)
+
+func TestCondNumberSameSign(t *testing.T) {
+	if k := CondNumber([]float64{1, 2, 3}); k != 1 {
+		t.Errorf("same-sign k = %g, want 1", k)
+	}
+	if k := CondNumber([]float64{-1, -2, -3}); k != 1 {
+		t.Errorf("negative same-sign k = %g, want 1", k)
+	}
+}
+
+func TestCondNumberZeroSum(t *testing.T) {
+	if k := CondNumber([]float64{1e9, -1e9, 3.5, -3.5}); !math.IsInf(k, 1) {
+		t.Errorf("zero-sum k = %g, want +Inf", k)
+	}
+}
+
+func TestCondNumberKnownValue(t *testing.T) {
+	// sum|x| = 1000, sum x = 1 -> k = 1000.
+	xs := []float64{500.5, -499.5}
+	if k := CondNumber(xs); k != 1000 {
+		t.Errorf("k = %g, want 1000", k)
+	}
+}
+
+func TestCondNumberEmptyAndZeros(t *testing.T) {
+	if k := CondNumber(nil); k != 1 {
+		t.Errorf("empty k = %g", k)
+	}
+	if k := CondNumber([]float64{0, 0}); k != 1 {
+		t.Errorf("all-zero k = %g", k)
+	}
+}
+
+func TestCondNumberAtLeastOne(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := fpu.NewRNG(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(60)-30)
+		}
+		return CondNumber(xs) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynRange(t *testing.T) {
+	if dr := DynRange([]float64{1, 1.5, 1.9}); dr != 0 {
+		t.Errorf("same-exponent dr = %d, want 0", dr)
+	}
+	if dr := DynRange([]float64{1, 256}); dr != 8 {
+		t.Errorf("dr = %d, want 8", dr)
+	}
+	if dr := DynRange([]float64{-1, 0, 65536}); dr != 16 {
+		t.Errorf("dr with zero/mixed = %d, want 16", dr)
+	}
+	if dr := DynRange(nil); dr != 0 {
+		t.Errorf("empty dr = %d", dr)
+	}
+	if dr := DynRange([]float64{0, 0}); dr != 0 {
+		t.Errorf("zeros dr = %d", dr)
+	}
+}
+
+func TestDecimalDynRangeTableIExamples(t *testing.T) {
+	// Rows of the paper's Table I with their stated dr values.
+	cases := []struct {
+		xs []float64
+		dr int
+	}{
+		{[]float64{1.23e32, 1.35e32, 2.37e32, 3.54e32}, 0},
+		{[]float64{1.23e-32, 1.35e-32, 2.37e-32, 3.54e-32}, 0},
+		{[]float64{-1.23e16, -1.35e16, -2.37e16, -3.54e16}, 0},
+		{[]float64{2.37e16, 3.41e8, 4.32e8, 8.14e16}, 8},
+		{[]float64{3.14e32, 1.59e16, 2.65e18, 3.58e24}, 16},
+		{[]float64{3.14e8, 1.59e8, -3.14e8, -1.59e8}, 0},
+		{[]float64{3.14e4, 1.59e-4, -3.14e4, -1.59e-4}, 8},
+		{[]float64{3.14e8, 1.59e-8, -3.14e8, -1.59e-8}, 16},
+	}
+	for i, c := range cases {
+		if got := DecimalDynRange(c.xs); got != c.dr {
+			t.Errorf("row %d: decimal dr = %d, want %d", i, got, c.dr)
+		}
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	r := fpu.NewRNG(1)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Float64()*2000 - 1000
+	}
+	ab := AnalyticBound(xs)
+	sb := StatisticalBound(xs)
+	if !(sb < ab) {
+		t.Errorf("statistical bound %g should be below analytic %g", sb, ab)
+	}
+	if ab <= 0 || sb <= 0 {
+		t.Error("bounds must be positive for nonzero data")
+	}
+	// For n = 10000 the ratio is sqrt(n) = 100.
+	if ratio := ab / sb; math.Abs(ratio-100) > 1e-9 {
+		t.Errorf("bound ratio = %g, want 100", ratio)
+	}
+}
+
+func TestDescribeKnownSample(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("basic stats wrong: %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles: Q1=%g Q3=%g", s.Q1, s.Q3)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %g, want %g", s.StdDev, math.Sqrt(2.5))
+	}
+	if s.Spread() != 4 || s.IQR() != 2 {
+		t.Errorf("spread/IQR wrong: %g %g", s.Spread(), s.IQR())
+	}
+}
+
+func TestDescribeOutliers(t *testing.T) {
+	s := Describe([]float64{1, 2, 2, 3, 3, 3, 4, 4, 100})
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", s.Outliers)
+	}
+	if s.WhiskHi != 4 {
+		t.Errorf("upper whisker = %g, want 4", s.WhiskHi)
+	}
+}
+
+func TestDescribeEdge(t *testing.T) {
+	if s := Describe(nil); s.N != 0 {
+		t.Error("empty sample should be zero Stats")
+	}
+	s := Describe([]float64{7})
+	if s.Median != 7 || s.StdDev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single sample: %+v", s)
+	}
+}
+
+func TestDescribeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Describe(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Describe mutated its input")
+	}
+}
+
+func TestErrorsAndDistinct(t *testing.T) {
+	errs := Errors([]float64{1, 2, 4}, 2)
+	if errs[0] != 1 || errs[1] != 0 || errs[2] != 2 {
+		t.Errorf("Errors = %v", errs)
+	}
+	if DistinctValues([]float64{1, 1, 1}) != 1 {
+		t.Error("distinct of identical should be 1")
+	}
+	if DistinctValues([]float64{1, -1, 2}) != 3 {
+		t.Error("distinct count wrong")
+	}
+	// +0 and -0 have different bit patterns: document that behavior.
+	if DistinctValues([]float64{0, math.Copysign(0, -1)}) != 2 {
+		t.Error("signed zeros should count as distinct bit patterns")
+	}
+}
+
+func TestMaxAbsAndAbsSum(t *testing.T) {
+	xs := []float64{-5, 3, 4}
+	if MaxAbs(xs) != 5 {
+		t.Errorf("MaxAbs = %g", MaxAbs(xs))
+	}
+	if AbsSum(xs) != 12 {
+		t.Errorf("AbsSum = %g", AbsSum(xs))
+	}
+}
+
+func TestStdDevExactOnConstantSample(t *testing.T) {
+	s := Describe([]float64{3.7, 3.7, 3.7, 3.7})
+	if s.StdDev != 0 {
+		t.Errorf("constant sample stddev = %g, want exactly 0", s.StdDev)
+	}
+}
+
+func TestLogHistogramBasics(t *testing.T) {
+	sample := []float64{1e-10, 2e-10, 1e-5, 0, 0, -1e-2}
+	h := LogHistogram(sample, 8)
+	if h.Zeros != 2 {
+		t.Errorf("zeros = %d", h.Zeros)
+	}
+	if h.Total() != 4 {
+		t.Errorf("binned = %d", h.Total())
+	}
+	if h.LogLo > -10+1e-9 || h.LogHi < -2-1e-9 {
+		t.Errorf("range [%g, %g]", h.LogLo, h.LogHi)
+	}
+	// Bin centers must be monotone increasing magnitudes.
+	prev := 0.0
+	for i := range h.Counts {
+		c := h.BinCenter(i)
+		if c <= prev {
+			t.Errorf("bin centers not increasing at %d", i)
+		}
+		prev = c
+	}
+}
+
+func TestLogHistogramEdge(t *testing.T) {
+	if h := LogHistogram(nil, 5); h.Total() != 0 || h.Zeros != 0 {
+		t.Error("empty sample")
+	}
+	if h := LogHistogram([]float64{0, 0}, 5); h.Total() != 0 || h.Zeros != 2 {
+		t.Error("all-zero sample")
+	}
+	// Single value: degenerate range widened to one decade.
+	h := LogHistogram([]float64{3.0}, 5)
+	if h.Total() != 1 {
+		t.Error("single value lost")
+	}
+	// Invalid bins fall back to a default.
+	if h := LogHistogram([]float64{1, 10}, 0); len(h.Counts) == 0 {
+		t.Error("bins fallback failed")
+	}
+}

@@ -1,0 +1,425 @@
+// Package mpirt is a message-passing runtime simulated in pure Go:
+// ranks are goroutines, links are buffered channels, and collectives are
+// implemented over point-to-point sends with pluggable reduction
+// topologies. It stands in for the MPI layer of the paper's experiments
+// (custom MPI_Reduce operators over local partial sums).
+//
+// Two properties of real extreme-scale reductions are modeled
+// explicitly:
+//
+//   - Topology: the reduction tree a collective uses (binomial, binary,
+//     chain, flat) is selectable per call, like an MPI implementation
+//     choosing a plan by message size and communicator shape.
+//   - Nondeterminism: in ArrivalOrder mode a parent merges child
+//     contributions in the order they arrive, and optional per-message
+//     jitter makes that order vary run to run — the system-level effect
+//     (Balaji & Kimpe) whose numerical consequences the paper studies.
+package mpirt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fpu"
+	"repro/internal/reduce"
+)
+
+// Mode selects how a parent combines child contributions in a reduction.
+type Mode uint8
+
+const (
+	// FixedOrder merges child states in ascending rank order after all
+	// have arrived: deterministic for a deterministic operator.
+	FixedOrder Mode = iota
+	// ArrivalOrder merges child states as they arrive: the merge order
+	// depends on timing, modeling a topology/latency-aware collective.
+	ArrivalOrder
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ArrivalOrder {
+		return "arrival-order"
+	}
+	return "fixed-order"
+}
+
+// Topology selects the reduction tree used by collectives.
+type Topology uint8
+
+const (
+	// Binomial is the classic MPI binomial reduction tree.
+	Binomial Topology = iota
+	// BinaryTree is a complete binary tree (rank 2i+1, 2i+2 children).
+	BinaryTree
+	// Chain is a serial pipeline: rank i receives from i+1.
+	Chain
+	// Flat has every non-root rank send directly to the root.
+	Flat
+)
+
+// Topologies lists every topology.
+var Topologies = []Topology{Binomial, BinaryTree, Chain, Flat}
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Binomial:
+		return "binomial"
+	case BinaryTree:
+		return "binary"
+	case Chain:
+		return "chain"
+	case Flat:
+		return "flat"
+	}
+	return fmt.Sprintf("Topology(%d)", uint8(t))
+}
+
+// Config tunes a World.
+type Config struct {
+	// Jitter is the maximum random delay injected before each send.
+	// Zero disables jitter. Combined with ArrivalOrder it makes merge
+	// orders vary run to run.
+	Jitter time.Duration
+	// Seed drives each rank's jitter generator (rank id is mixed in).
+	Seed uint64
+}
+
+// World is a communicator of size ranks.
+type World struct {
+	size    int
+	cfg     Config
+	inboxes []chan envelope
+}
+
+type envelope struct {
+	src     int
+	tag     int
+	payload any
+}
+
+// NewWorld creates a communicator with size ranks.
+func NewWorld(size int, cfg Config) *World {
+	if size < 1 {
+		panic("mpirt: world size must be >= 1")
+	}
+	w := &World{size: size, cfg: cfg, inboxes: make([]chan envelope, size)}
+	for i := range w.inboxes {
+		w.inboxes[i] = make(chan envelope, 8*size+64)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run launches one goroutine per rank executing body and waits for all
+// of them. A panicking rank aborts the run and is reported as an error.
+func (w *World) Run(body func(r *Rank)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for id := 0; id < w.size; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[id] = fmt.Errorf("mpirt: rank %d panicked: %v", id, p)
+				}
+			}()
+			body(&Rank{
+				ID:   id,
+				Size: w.size,
+				w:    w,
+				rng:  fpu.NewRNG(w.cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+			})
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank is one process in the world; methods on it may only be called
+// from within the goroutine Run assigned to it.
+type Rank struct {
+	ID, Size int
+	w        *World
+	pending  []envelope
+	coll     int // per-rank collective sequence number
+	rng      *fpu.RNG
+}
+
+// collective tags live above user tags; user tags must be >= 0.
+const collTagBase = 1 << 30
+
+func (r *Rank) nextCollTag() int {
+	r.coll++
+	return collTagBase + r.coll
+}
+
+// Send delivers payload to rank dst under the given tag (tag >= 0 for
+// user messages). Jitter, if configured, delays the send.
+func (r *Rank) Send(dst, tag int, payload any) {
+	r.send(dst, tag, payload)
+}
+
+func (r *Rank) send(dst, tag int, payload any) {
+	if dst < 0 || dst >= r.Size {
+		panic(fmt.Sprintf("mpirt: send to invalid rank %d", dst))
+	}
+	if j := r.w.cfg.Jitter; j > 0 {
+		time.Sleep(time.Duration(r.rng.Float64() * float64(j)))
+	}
+	r.w.inboxes[dst] <- envelope{src: r.ID, tag: tag, payload: payload}
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Other messages are buffered.
+func (r *Rank) Recv(src, tag int) any {
+	for i, e := range r.pending {
+		if e.src == src && e.tag == tag {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return e.payload
+		}
+	}
+	for {
+		e := <-r.w.inboxes[r.ID]
+		if e.src == src && e.tag == tag {
+			return e.payload
+		}
+		r.pending = append(r.pending, e)
+	}
+}
+
+// RecvAny blocks until a message with the given tag arrives from any
+// source, returning the source and payload in arrival order.
+func (r *Rank) RecvAny(tag int) (src int, payload any) {
+	for i, e := range r.pending {
+		if e.tag == tag {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return e.src, e.payload
+		}
+	}
+	for {
+		e := <-r.w.inboxes[r.ID]
+		if e.tag == tag {
+			return e.src, e.payload
+		}
+		r.pending = append(r.pending, e)
+	}
+}
+
+// vertex returns this rank's position in a tree rooted at root.
+func (r *Rank) vertex(root int) int { return (r.ID - root + r.Size) % r.Size }
+
+// rankOf maps a tree vertex back to a rank id.
+func (r *Rank) rankOf(v, root int) int { return (v + root) % r.Size }
+
+// family returns the parent rank (-1 at the root) and child ranks of
+// this rank in the given topology rooted at root.
+func (r *Rank) family(topo Topology, root int) (parent int, children []int) {
+	v := r.vertex(root)
+	n := r.Size
+	switch topo {
+	case Binomial:
+		if v == 0 {
+			parent = -1
+			for b := 1; b < n; b <<= 1 {
+				children = append(children, r.rankOf(b, root))
+			}
+		} else {
+			lsb := v & -v
+			parent = r.rankOf(v-lsb, root)
+			for b := 1; b < lsb; b <<= 1 {
+				if v+b < n {
+					children = append(children, r.rankOf(v+b, root))
+				}
+			}
+		}
+	case BinaryTree:
+		if v == 0 {
+			parent = -1
+		} else {
+			parent = r.rankOf((v-1)/2, root)
+		}
+		for _, c := range []int{2*v + 1, 2*v + 2} {
+			if c < n {
+				children = append(children, r.rankOf(c, root))
+			}
+		}
+	case Chain:
+		if v == 0 {
+			parent = -1
+		} else {
+			parent = r.rankOf(v-1, root)
+		}
+		if v+1 < n {
+			children = append(children, r.rankOf(v+1, root))
+		}
+	case Flat:
+		if v == 0 {
+			parent = -1
+			for c := 1; c < n; c++ {
+				children = append(children, r.rankOf(c, root))
+			}
+		} else {
+			parent = r.rankOf(0, root)
+		}
+	default:
+		panic("mpirt: invalid topology " + topo.String())
+	}
+	return parent, children
+}
+
+// Barrier synchronizes all ranks (binomial gather + broadcast).
+func (r *Rank) Barrier() {
+	tag := r.nextCollTag()
+	parent, children := r.family(Binomial, 0)
+	for _, c := range children {
+		r.Recv(c, tag)
+	}
+	if parent >= 0 {
+		r.send(parent, tag, nil)
+		r.Recv(parent, tag)
+	}
+	for _, c := range children {
+		r.send(c, tag, nil)
+	}
+}
+
+// Broadcast distributes root's payload to every rank and returns it.
+func (r *Rank) Broadcast(root int, payload any) any {
+	tag := r.nextCollTag()
+	parent, children := r.family(Binomial, root)
+	if parent >= 0 {
+		payload = r.Recv(parent, tag)
+	}
+	for _, c := range children {
+		r.send(c, tag, payload)
+	}
+	return payload
+}
+
+// Gather collects each rank's payload at root, indexed by rank id.
+// Non-root ranks receive nil.
+func (r *Rank) Gather(root int, payload any) []any {
+	tag := r.nextCollTag()
+	if r.ID != root {
+		r.send(root, tag, [2]any{r.ID, payload})
+		return nil
+	}
+	out := make([]any, r.Size)
+	out[root] = payload
+	for i := 0; i < r.Size-1; i++ {
+		_, p := r.RecvAny(tag)
+		pair := p.([2]any)
+		out[pair[0].(int)] = pair[1]
+	}
+	return out
+}
+
+// AllGather collects every rank's payload on every rank, indexed by
+// rank id (gather to rank 0 + broadcast).
+func (r *Rank) AllGather(payload any) []any {
+	got := r.Gather(0, payload)
+	res := r.Broadcast(0, got)
+	return res.([]any)
+}
+
+// Scatter distributes items[i] from root to rank i and returns this
+// rank's item. Only the root's items argument is consulted.
+func (r *Rank) Scatter(root int, items []any) any {
+	tag := r.nextCollTag()
+	if r.ID == root {
+		if len(items) != r.Size {
+			panic(fmt.Sprintf("mpirt: Scatter needs %d items, got %d", r.Size, len(items)))
+		}
+		for dst := 0; dst < r.Size; dst++ {
+			if dst != root {
+				r.send(dst, tag, items[dst])
+			}
+		}
+		return items[root]
+	}
+	return r.Recv(root, tag)
+}
+
+// Reduce combines each rank's local partial state up a reduction tree
+// and returns the final state at root (nil elsewhere). In FixedOrder
+// mode every parent waits for all children and merges them in ascending
+// rank order; in ArrivalOrder mode it merges them as they arrive.
+func (r *Rank) Reduce(root int, local reduce.State, op reduce.Op, topo Topology, mode Mode) reduce.State {
+	tag := r.nextCollTag()
+	parent, children := r.family(topo, root)
+	state := local
+	switch mode {
+	case FixedOrder:
+		got := make([]struct {
+			src int
+			st  reduce.State
+		}, 0, len(children))
+		for range children {
+			src, p := r.RecvAny(tag)
+			got = append(got, struct {
+				src int
+				st  reduce.State
+			}{src, p})
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].src < got[j].src })
+		for _, g := range got {
+			state = op.Merge(state, g.st)
+		}
+	case ArrivalOrder:
+		for range children {
+			_, p := r.RecvAny(tag)
+			state = op.Merge(state, p)
+		}
+	default:
+		panic("mpirt: invalid mode")
+	}
+	if parent >= 0 {
+		r.send(parent, tag, state)
+		return nil
+	}
+	return state
+}
+
+// AllReduce performs Reduce to rank 0 followed by a Broadcast of the
+// final state, returning it on every rank.
+func (r *Rank) AllReduce(local reduce.State, op reduce.Op, topo Topology, mode Mode) reduce.State {
+	st := r.Reduce(0, local, op, topo, mode)
+	return r.Broadcast(0, st)
+}
+
+// ReduceSum accumulates the rank's local values with op (leaf-by-leaf)
+// and reduces the partial states globally, returning the finalized sum
+// at root and NaN elsewhere.
+func (r *Rank) ReduceSum(root int, local []float64, op reduce.Op, topo Topology, mode Mode) (float64, bool) {
+	state := LocalState(op, local)
+	st := r.Reduce(root, state, op, topo, mode)
+	if st == nil {
+		return 0, false
+	}
+	return op.Finalize(st), true
+}
+
+// LocalState folds a slice into a single partial state under op (the
+// "local sum" phase executed by each rank before the global reduce).
+func LocalState(op reduce.Op, xs []float64) reduce.State {
+	if len(xs) == 0 {
+		return op.Leaf(0)
+	}
+	st := op.Leaf(xs[0])
+	for _, x := range xs[1:] {
+		st = op.Merge(st, op.Leaf(x))
+	}
+	return st
+}

@@ -1,0 +1,234 @@
+package mpirt
+
+import (
+	"fmt"
+
+	"repro/internal/fpu"
+)
+
+// Topology-aware reduction model. The paper's Section II-B leans on
+// Balaji & Kimpe's result that reduction trees conforming to the
+// physical topology outperform reductions that enforce a specified
+// ordering of partial reduction, with the advantage growing with core
+// count — that is *why* exascale reductions will not honor a fixed
+// operand order. This file reproduces the effect with a deterministic
+// critical-path (LogP-flavored) time model over a two-level machine
+// (nodes of cores): messages crossing a node boundary pay InterLat,
+// messages within a node pay IntraLat, every received message pays a
+// serialized RecvCost at the receiver, and every merge pays MergeCost.
+//
+// Completion time of a reduction tree:
+//
+//	done(leaf)   = 0
+//	done(parent) = arrivals (done(child) + lat) absorbed in arrival
+//	               order, each paying RecvCost + MergeCost serially
+//
+// The order-enforcing baseline is the flat gather-and-fold at the root
+// (the cheapest reduction that honors one canonical operand order
+// without extra synchronization rounds): its root serializes n-1
+// receives, so its cost grows linearly while the topology-aware
+// hierarchical tree grows logarithmically — the gap widens with scale,
+// as Balaji & Kimpe measured.
+
+// Machine is a two-level topology.
+type Machine struct {
+	CoresPerNode int
+	// IntraLat and InterLat are link latencies in arbitrary time units;
+	// RecvCost is the per-message receive overhead serialized at the
+	// receiver (LogP's "o"); MergeCost is the per-merge compute cost.
+	IntraLat, InterLat, RecvCost, MergeCost float64
+}
+
+// DefaultMachine mirrors a commodity cluster: ~20x latency gap between
+// shared-memory and network links, receive overhead comparable to an
+// intra-node hop.
+func DefaultMachine() Machine {
+	return Machine{CoresPerNode: 16, IntraLat: 1, InterLat: 20, RecvCost: 1, MergeCost: 0.1}
+}
+
+// Placement maps each rank to a node.
+type Placement []int
+
+// RandomPlacement scatters n ranks across the machine's nodes uniformly
+// (node count is ceil(n / CoresPerNode); ranks land anywhere, modeling
+// a scheduler that does not preserve rank adjacency).
+func RandomPlacement(m Machine, n int, seed uint64) Placement {
+	nodes := (n + m.CoresPerNode - 1) / m.CoresPerNode
+	r := fpu.NewRNG(seed ^ 0x70b0)
+	p := make(Placement, n)
+	// Balanced random assignment: shuffle slots.
+	slots := make([]int, 0, nodes*m.CoresPerNode)
+	for node := 0; node < nodes; node++ {
+		for c := 0; c < m.CoresPerNode; c++ {
+			slots = append(slots, node)
+		}
+	}
+	for i := range p {
+		j := i + r.Intn(len(slots)-i)
+		slots[i], slots[j] = slots[j], slots[i]
+		p[i] = slots[i]
+	}
+	return p
+}
+
+// lat returns the link latency between two ranks.
+func (m Machine) lat(p Placement, a, b int) float64 {
+	if p[a] == p[b] {
+		return m.IntraLat
+	}
+	return m.InterLat
+}
+
+// ReduceTree is a rooted tree over ranks: Parent[root] = -1.
+type ReduceTree struct {
+	Parent []int
+	Root   int
+}
+
+// Validate checks the tree is a single rooted spanning tree.
+func (t ReduceTree) Validate() error {
+	n := len(t.Parent)
+	if t.Root < 0 || t.Root >= n || t.Parent[t.Root] != -1 {
+		return fmt.Errorf("mpirt: invalid root %d", t.Root)
+	}
+	for v := 0; v < n; v++ {
+		if v == t.Root {
+			continue
+		}
+		seen := 0
+		for u := v; u != t.Root; u = t.Parent[u] {
+			if u < 0 || u >= n || t.Parent[u] < 0 {
+				return fmt.Errorf("mpirt: rank %d does not reach the root", v)
+			}
+			if seen++; seen > n {
+				return fmt.Errorf("mpirt: cycle through rank %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// FixedBinomialTree is the topology-oblivious baseline: the binomial
+// tree over rank IDs, regardless of where ranks were placed.
+func FixedBinomialTree(n int) ReduceTree {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - (v & -v)
+	}
+	return ReduceTree{Parent: parent, Root: 0}
+}
+
+// TopologyAwareTree builds a two-level tree from the placement: within
+// each node, ranks form a binomial tree rooted at the node's first
+// rank (its leader); leaders form a binomial tree across nodes rooted
+// at rank 0's leader.
+func TopologyAwareTree(p Placement) ReduceTree {
+	n := len(p)
+	byNode := map[int][]int{}
+	var nodeOrder []int
+	for rank, node := range p {
+		if len(byNode[node]) == 0 {
+			nodeOrder = append(nodeOrder, node)
+		}
+		byNode[node] = append(byNode[node], rank)
+	}
+	parent := make([]int, n)
+	leaders := make([]int, 0, len(nodeOrder))
+	for _, node := range nodeOrder {
+		members := byNode[node]
+		leader := members[0]
+		leaders = append(leaders, leader)
+		for i, rank := range members {
+			if i == 0 {
+				continue
+			}
+			// Binomial within the node over member indices.
+			pi := i - (i & -i)
+			parent[rank] = members[pi]
+		}
+	}
+	for i, leader := range leaders {
+		if i == 0 {
+			parent[leader] = -1
+			continue
+		}
+		pi := i - (i & -i)
+		parent[leader] = leaders[pi]
+	}
+	return ReduceTree{Parent: parent, Root: leaders[0]}
+}
+
+// CompletionTime returns the simulated critical-path time of reducing
+// one value per rank up the tree on the given machine.
+func (m Machine) CompletionTime(t ReduceTree, p Placement) float64 {
+	n := len(t.Parent)
+	children := make([][]int, n)
+	for v, pa := range t.Parent {
+		if pa >= 0 {
+			children[pa] = append(children[pa], v)
+		}
+	}
+	// Iterative post-order to avoid recursion depth limits on chains.
+	done := make([]float64, n)
+	state := make([]int, n) // next child index to process
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if state[v] < len(children[v]) {
+			c := children[v][state[v]]
+			state[v]++
+			stack = append(stack, c)
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		// Children complete; the parent merges arrivals serially in
+		// arrival order (earliest first).
+		arrivals := make([]float64, 0, len(children[v]))
+		for _, c := range children[v] {
+			arrivals = append(arrivals, done[c]+m.lat(p, c, v))
+		}
+		sortFloats(arrivals)
+		tNow := 0.0
+		for _, a := range arrivals {
+			if a > tNow {
+				tNow = a
+			}
+			tNow += m.RecvCost + m.MergeCost
+		}
+		done[v] = tNow
+	}
+	return done[t.Root]
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: arrival lists are short (tree fan-in).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// OrderedFlatTree is the order-enforcing baseline: every rank sends to
+// the root, which folds contributions in one canonical order. This is
+// the reduction shape a strict "fixed reduction order" requirement
+// forces without extra synchronization rounds.
+func OrderedFlatTree(n int) ReduceTree {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = 0
+	}
+	return ReduceTree{Parent: parent, Root: 0}
+}
+
+// TopologyAdvantage returns completion(ordered)/completion(aware) for n
+// ranks randomly placed on the machine — the Balaji-Kimpe ratio. Values
+// above 1 mean the topology-aware tree wins; the ratio grows with n.
+func TopologyAdvantage(m Machine, n int, seed uint64) float64 {
+	p := RandomPlacement(m, n, seed)
+	ordered := m.CompletionTime(OrderedFlatTree(n), p)
+	aware := m.CompletionTime(TopologyAwareTree(p), p)
+	return ordered / aware
+}

@@ -1,0 +1,138 @@
+package mpirt
+
+import (
+	"testing"
+)
+
+func TestFixedBinomialTreeStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 13, 64} {
+		tr := FixedBinomialTree(n)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if tr.Root != 0 {
+			t.Errorf("n=%d: root %d", n, tr.Root)
+		}
+	}
+}
+
+func TestTopologyAwareTreeStructure(t *testing.T) {
+	m := DefaultMachine()
+	for _, n := range []int{1, 2, 16, 17, 100, 256} {
+		p := RandomPlacement(m, n, 42)
+		tr := TopologyAwareTree(p)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		// Every non-leader rank's parent must share its node (the tree
+		// crosses node boundaries only between leaders).
+		leaders := map[int]int{} // node -> leader
+		for rank, node := range p {
+			if _, ok := leaders[node]; !ok && tr.Parent[rank] == -1 || isLeader(tr, p, rank) {
+				leaders[node] = rank
+			}
+		}
+		for rank, pa := range tr.Parent {
+			if pa < 0 {
+				continue
+			}
+			if p[rank] != p[pa] && !isLeader(tr, p, rank) {
+				t.Errorf("n=%d: non-leader rank %d crosses nodes", n, rank)
+			}
+		}
+	}
+}
+
+// isLeader reports whether rank's parent (if any) is on another node or
+// rank is the root — i.e. rank is its node's representative.
+func isLeader(tr ReduceTree, p Placement, rank int) bool {
+	pa := tr.Parent[rank]
+	return pa == -1 || p[pa] != p[rank]
+}
+
+func TestRandomPlacementBalanced(t *testing.T) {
+	m := DefaultMachine()
+	n := 160
+	p := RandomPlacement(m, n, 7)
+	counts := map[int]int{}
+	for _, node := range p {
+		counts[node]++
+	}
+	for node, c := range counts {
+		if c > m.CoresPerNode {
+			t.Errorf("node %d oversubscribed: %d ranks", node, c)
+		}
+	}
+}
+
+func TestCompletionTimeSmallByHand(t *testing.T) {
+	// Two ranks on one node: one message + one receive + one merge.
+	m := Machine{CoresPerNode: 4, IntraLat: 1, InterLat: 10, RecvCost: 0.25, MergeCost: 0.5}
+	p := Placement{0, 0}
+	tr := FixedBinomialTree(2)
+	if got := m.CompletionTime(tr, p); got != 1.75 {
+		t.Errorf("intra-node pair: %g, want 1.75", got)
+	}
+	// Same pair split across nodes.
+	p = Placement{0, 1}
+	if got := m.CompletionTime(tr, p); got != 10.75 {
+		t.Errorf("inter-node pair: %g, want 10.75", got)
+	}
+	// Ordered flat over 3 ranks, all on one node: last arrival at
+	// IntraLat, then two serialized receive+merge slots.
+	p = Placement{0, 0, 0}
+	if got := m.CompletionTime(OrderedFlatTree(3), p); got != 1+2*0.75 {
+		t.Errorf("ordered flat: %g, want 2.5", got)
+	}
+}
+
+func TestTopologyAdvantageGrowsWithScale(t *testing.T) {
+	// The Balaji-Kimpe effect: the aware/fixed gap widens as core count
+	// grows (averaged over placements to tame variance).
+	m := DefaultMachine()
+	mean := func(n int) float64 {
+		s := 0.0
+		const reps = 10
+		for i := 0; i < reps; i++ {
+			s += TopologyAdvantage(m, n, uint64(n*100+i))
+		}
+		return s / reps
+	}
+	small, large := mean(64), mean(1024)
+	if small < 1 {
+		t.Errorf("topology-aware tree slower at n=64: advantage %.2f", small)
+	}
+	if large <= small {
+		t.Errorf("advantage did not grow with scale: n=64 -> %.2f, n=1024 -> %.2f", small, large)
+	}
+}
+
+func TestCompletionTimeDeepChainNoOverflow(t *testing.T) {
+	// A 100k-rank chain exercises the iterative post-order.
+	n := 100000
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	tr := ReduceTree{Parent: parent, Root: 0}
+	m := DefaultMachine()
+	p := make(Placement, n)
+	for i := range p {
+		p[i] = i / m.CoresPerNode
+	}
+	if got := m.CompletionTime(tr, p); got <= 0 {
+		t.Errorf("chain completion %g", got)
+	}
+}
+
+func TestValidateRejectsBadTrees(t *testing.T) {
+	bad := ReduceTree{Parent: []int{-1, -1}, Root: 0} // two roots
+	if err := bad.Validate(); err == nil {
+		t.Error("two roots accepted")
+	}
+	cyc := ReduceTree{Parent: []int{-1, 2, 1}, Root: 0} // 1<->2 cycle
+	if err := cyc.Validate(); err == nil {
+		t.Error("cycle accepted")
+	}
+}

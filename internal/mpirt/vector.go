@@ -1,0 +1,112 @@
+package mpirt
+
+import (
+	"fmt"
+
+	"repro/internal/reduce"
+)
+
+// Vector collectives: the realistic MPI_Reduce semantics where each
+// rank contributes a same-length vector and the result is the
+// elementwise reduction. Large vectors are segmented so that segments
+// pipeline up the tree (a parent forwards segment s as soon as it has
+// merged it, while segment s+1 is still in flight below), which is how
+// production MPI implementations keep deep trees busy.
+
+// VectorReduce reduces each rank's local vector elementwise to root.
+// Every element is combined with its own op state, so the per-element
+// guarantees (e.g. PR's bitwise reproducibility) carry over. segSize
+// bounds the number of elements per pipelined message (0 = whole
+// vector in one message). Returns the finalized vector at root and ok
+// = true there; nil, false elsewhere.
+func (r *Rank) VectorReduce(root int, local []float64, op reduce.Op,
+	topo Topology, mode Mode, segSize int) ([]float64, bool) {
+	n := len(local)
+	if segSize <= 0 || segSize > n {
+		segSize = n
+	}
+	if segSize == 0 {
+		segSize = 1 // empty vector: still run the collective protocol
+	}
+	numSegs := 0
+	if n > 0 {
+		numSegs = (n + segSize - 1) / segSize
+	}
+	// All ranks must agree on the segment count; it derives from the
+	// (assumed uniform) local length. Guard against mismatched lengths
+	// by exchanging the count via the tag sequence itself: each segment
+	// reduction is an independent collective round, so a mismatch
+	// deadlocks loudly in tests rather than corrupting silently.
+	parent, children := r.family(topo, root)
+	states := make([]reduce.State, n)
+	for i, x := range local {
+		states[i] = op.Leaf(x)
+	}
+	for s := 0; s < numSegs; s++ {
+		lo := s * segSize
+		hi := lo + segSize
+		if hi > n {
+			hi = n
+		}
+		tag := r.nextCollTag()
+		switch mode {
+		case FixedOrder:
+			got := make([]struct {
+				src int
+				seg []reduce.State
+			}, 0, len(children))
+			for range children {
+				src, p := r.RecvAny(tag)
+				got = append(got, struct {
+					src int
+					seg []reduce.State
+				}{src, p.([]reduce.State)})
+			}
+			for i := 1; i < len(got); i++ {
+				for j := i; j > 0 && got[j].src < got[j-1].src; j-- {
+					got[j], got[j-1] = got[j-1], got[j]
+				}
+			}
+			for _, g := range got {
+				mergeSeg(op, states[lo:hi], g.seg)
+			}
+		case ArrivalOrder:
+			for range children {
+				_, p := r.RecvAny(tag)
+				mergeSeg(op, states[lo:hi], p.([]reduce.State))
+			}
+		default:
+			panic("mpirt: invalid mode")
+		}
+		if parent >= 0 {
+			seg := make([]reduce.State, hi-lo)
+			copy(seg, states[lo:hi])
+			r.send(parent, tag, seg)
+		}
+	}
+	if parent >= 0 {
+		return nil, false
+	}
+	out := make([]float64, n)
+	for i, st := range states {
+		out[i] = op.Finalize(st)
+	}
+	return out, true
+}
+
+func mergeSeg(op reduce.Op, dst, src []reduce.State) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mpirt: vector segment length mismatch: %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] = op.Merge(dst[i], src[i])
+	}
+}
+
+// VectorAllReduce reduces elementwise to rank 0 and broadcasts the
+// finalized vector to every rank.
+func (r *Rank) VectorAllReduce(local []float64, op reduce.Op,
+	topo Topology, mode Mode, segSize int) []float64 {
+	v, _ := r.VectorReduce(0, local, op, topo, mode, segSize)
+	return r.Broadcast(0, v).([]float64)
+}

@@ -1,0 +1,133 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpu"
+	"repro/internal/sum"
+	"repro/internal/tree"
+)
+
+// fixedPlans always returns the identity balanced plan (a deterministic
+// runtime).
+func fixedPlans(n int) tree.Plan { return tree.IdentityPlan(tree.Balanced) }
+
+// randomPlans simulates a nondeterministic runtime: every call gets a
+// different shape and leaf assignment.
+func randomPlans(seed uint64) func(n int) tree.Plan {
+	r := fpu.NewRNG(seed)
+	return func(n int) tree.Plan { return tree.NewPlan(tree.Random, n, r) }
+}
+
+func TestTwoBodySymmetry(t *testing.T) {
+	bodies := []Body{
+		{X: -1, M: 1},
+		{X: 1, M: 1},
+	}
+	s := NewSystem(bodies, sum.CompositeAlg, fixedPlans)
+	fx0, fy0 := s.forceOn(0)
+	fx1, fy1 := s.forceOn(1)
+	if fx0 <= 0 || fx1 >= 0 {
+		t.Errorf("attraction signs wrong: %g %g", fx0, fx1)
+	}
+	if fx0 != -fx1 || fy0 != 0 || fy1 != 0 {
+		t.Errorf("Newton's third law violated: (%g,%g) vs (%g,%g)", fx0, fy0, fx1, fy1)
+	}
+}
+
+func TestDeterministicRuntimeIsReproducible(t *testing.T) {
+	// With a fixed plan every algorithm reruns identically.
+	for _, alg := range []sum.Algorithm{sum.StandardAlg, sum.PreroundedAlg} {
+		a := NewSystem(Cluster(60, 1), alg, fixedPlans)
+		b := NewSystem(Cluster(60, 1), alg, fixedPlans)
+		a.Run(20, 1e-3)
+		b.Run(20, 1e-3)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%v: fixed-plan reruns diverged", alg)
+		}
+	}
+}
+
+func TestNondeterministicTreesDivergeSTButNotPR(t *testing.T) {
+	run := func(alg sum.Algorithm, seed uint64) *System {
+		s := NewSystem(Cluster(80, 2), alg, randomPlans(seed))
+		s.Run(40, 1e-3)
+		return s
+	}
+	// ST: two runs with different per-step trees drift apart.
+	st1, st2 := run(sum.StandardAlg, 100), run(sum.StandardAlg, 200)
+	if st1.Fingerprint() == st2.Fingerprint() {
+		t.Error("ST trajectories identical despite nondeterministic trees (unexpected)")
+	}
+	if MaxDivergence(st1, st2) == 0 {
+		t.Error("no positional divergence for ST")
+	}
+	// PR: same nondeterministic trees, bitwise identical trajectories.
+	pr1, pr2 := run(sum.PreroundedAlg, 100), run(sum.PreroundedAlg, 200)
+	if pr1.Fingerprint() != pr2.Fingerprint() {
+		t.Error("PR trajectories diverged")
+	}
+	if MaxDivergence(pr1, pr2) != 0 {
+		t.Errorf("PR positional divergence %g, want 0", MaxDivergence(pr1, pr2))
+	}
+}
+
+func TestEnergyScaleSanity(t *testing.T) {
+	// Leapfrog with small dt should not blow up over a short run.
+	s := NewSystem(Cluster(50, 3), sum.CompositeAlg, fixedPlans)
+	s.Run(100, 1e-4)
+	for i, b := range s.Bodies {
+		if math.IsNaN(b.X) || math.IsInf(b.X, 0) || math.Abs(b.X) > 1e6 {
+			t.Fatalf("body %d escaped to %g", i, b.X)
+		}
+	}
+}
+
+func TestClusterProperties(t *testing.T) {
+	bodies := Cluster(100, 4)
+	if len(bodies) != 100 {
+		t.Fatalf("len = %d", len(bodies))
+	}
+	heavy := 0
+	for _, b := range bodies {
+		if b.M >= 10 {
+			heavy++
+		}
+	}
+	if heavy != 4 {
+		t.Errorf("heavy cores = %d, want 4", heavy)
+	}
+	// Small n edge case.
+	if got := Cluster(2, 5); len(got) != 2 {
+		t.Errorf("Cluster(2) len = %d", len(got))
+	}
+}
+
+func TestForceTermsAreIllConditioned(t *testing.T) {
+	// The motivating claim: the force-term sets have large k and dr.
+	// Body 0 is a heavy core at angle 0; the symmetric cores above and
+	// below pull it in opposite y directions with near-equal magnitude,
+	// so its y-force terms nearly cancel.
+	s := NewSystem(Cluster(200, 6), sum.StandardAlg, fixedPlans)
+	bi := s.Bodies[0]
+	eps2 := s.Softening * s.Softening
+	var terms []float64
+	for j, bj := range s.Bodies {
+		if j == 0 {
+			continue
+		}
+		dx, dy := bj.X-bi.X, bj.Y-bi.Y
+		r2 := dx*dx + dy*dy + eps2
+		terms = append(terms, bi.M*bj.M*dy/(r2*math.Sqrt(r2)))
+	}
+	var sumAbs, sumRaw float64
+	for _, v := range terms {
+		sumAbs += math.Abs(v)
+		sumRaw += v
+	}
+	k := sumAbs / math.Abs(sumRaw)
+	if k < 10 {
+		t.Errorf("force terms k = %g; expected ill-conditioned", k)
+	}
+}

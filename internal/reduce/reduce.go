@@ -1,0 +1,100 @@
+// Package reduce defines the contracts that connect summation algorithms
+// to reduction trees and simulated collectives.
+//
+// A reduction algorithm participates in a tree reduction by exposing a
+// commutative-monoid-like triple: lift an operand into a partial state
+// (Leaf), combine two partial states (Merge), and extract the final
+// float64 (Finalize). Floating-point merges are not associative — that
+// nonassociativity is exactly what this repository studies — so "monoid"
+// describes the shape of the API, not an algebraic guarantee. The
+// prerounded algorithm is the exception: its Merge is exactly
+// associative and commutative by construction, which is what makes it
+// bitwise reproducible under arbitrary reduction trees.
+package reduce
+
+// Monoid is the generic (unboxed) form used by performance-critical tree
+// executors. S is the algorithm-specific partial-reduction state.
+type Monoid[S any] interface {
+	// Leaf lifts one operand into a partial state.
+	Leaf(x float64) S
+	// Merge combines two partial states (an internal tree node).
+	Merge(a, b S) S
+	// Finalize extracts the float64 result at the root.
+	Finalize(s S) float64
+}
+
+// State is a boxed partial-reduction state used by the dynamic Op form.
+type State interface{}
+
+// Op is the dynamic (runtime-selectable) form of a reduction operator:
+// what an intelligent runtime hands to a collective once an algorithm
+// has been chosen.
+type Op interface {
+	Name() string
+	Leaf(x float64) State
+	Merge(a, b State) State
+	Finalize(s State) float64
+}
+
+// boxed adapts a generic Monoid into a dynamic Op.
+type boxed[S any] struct {
+	name string
+	m    Monoid[S]
+}
+
+func (b boxed[S]) Name() string         { return b.name }
+func (b boxed[S]) Leaf(x float64) State { return b.m.Leaf(x) }
+func (b boxed[S]) Finalize(s State) float64 {
+	return b.m.Finalize(s.(S))
+}
+func (b boxed[S]) Merge(a, c State) State {
+	return b.m.Merge(a.(S), c.(S))
+}
+
+// Boxed wraps a generic monoid as a dynamic Op under the given name.
+func Boxed[S any](name string, m Monoid[S]) Op {
+	return boxed[S]{name: name, m: m}
+}
+
+// Fold reduces xs left-to-right (a fully unbalanced tree) under m.
+func Fold[S any](m Monoid[S], xs []float64) float64 {
+	if len(xs) == 0 {
+		return m.Finalize(m.Leaf(0))
+	}
+	acc := m.Leaf(xs[0])
+	for _, x := range xs[1:] {
+		acc = m.Merge(acc, m.Leaf(x))
+	}
+	return m.Finalize(acc)
+}
+
+// Pairwise reduces xs with a balanced binary tree under m. The scratch
+// slice, if non-nil and large enough, avoids an allocation.
+func Pairwise[S any](m Monoid[S], xs []float64, scratch []S) float64 {
+	n := len(xs)
+	if n == 0 {
+		return m.Finalize(m.Leaf(0))
+	}
+	var level []S
+	if cap(scratch) >= n {
+		level = scratch[:n]
+	} else {
+		level = make([]S, n)
+	}
+	for i, x := range xs {
+		level[i] = m.Leaf(x)
+	}
+	for n > 1 {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			level[i] = m.Merge(level[2*i], level[2*i+1])
+		}
+		if n%2 == 1 {
+			level[half] = level[n-1]
+			n = half + 1
+		} else {
+			n = half
+		}
+	}
+	return m.Finalize(level[0])
+}

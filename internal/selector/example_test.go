@@ -1,0 +1,37 @@
+package selector_test
+
+import (
+	"fmt"
+
+	"repro/internal/selector"
+)
+
+// Profiles capture the runtime-estimable properties driving selection.
+func ExampleProfileOf() {
+	p := selector.ProfileOf([]float64{500.5, -499.5, 256})
+	fmt.Printf("n=%d k=%.4g dr=%d sameSign=%v\n", p.N, p.Cond(), p.DynRange(), p.SameSign())
+	// Output: n=3 k=4.887 dr=0 sameSign=false
+}
+
+// The analytic policy picks the cheapest algorithm whose modeled
+// variability meets the requirement.
+func ExampleHeuristicPolicy_Select() {
+	hp := selector.NewHeuristicPolicy()
+	easy := selector.ProfileOf([]float64{1, 2, 3, 4})
+	alg, _ := hp.Select(easy, selector.Requirement{Tolerance: 1e-9})
+	fmt.Println("easy data:", alg)
+	algBit, _ := hp.Select(easy, selector.Requirement{Tolerance: 0})
+	fmt.Println("bitwise contract:", algBit)
+	// Output:
+	// easy data: ST
+	// bitwise contract: PR
+}
+
+// TunePR sizes the prerounded operator's fold budget to the tolerance.
+func ExampleTunePR() {
+	p := selector.ProfileOf([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	loose := selector.TunePR(p, selector.Requirement{Tolerance: 1e-3})
+	tight := selector.TunePR(p, selector.Requirement{Tolerance: 1e-25})
+	fmt.Printf("loose: F=%d, tight: F=%d\n", loose.F, tight.F)
+	// Output: loose: F=2, tight: F=5
+}

@@ -1,0 +1,151 @@
+package selector
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/grid"
+	"repro/internal/sum"
+)
+
+// Calibration persistence: a CalibratedPolicy's sweep is expensive, so
+// deployments run it once and ship the table. The format is CSV with
+// one row per (cell, algorithm):
+//
+//	n,cond,dr,measured_k,measured_dr,alg,stddev,rel_stddev,max_err,distinct
+
+// SaveCells writes a calibration table.
+func SaveCells(w io.Writer, cells []grid.CellResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"n", "cond", "dr", "measured_k", "measured_dr",
+		"alg", "stddev", "rel_stddev", "max_err", "distinct",
+	}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		for _, alg := range sum.Algorithms {
+			sd, ok := c.StdDev[alg]
+			if !ok {
+				continue
+			}
+			rec := []string{
+				strconv.Itoa(c.Spec.N),
+				formatFloat(c.Spec.Cond),
+				strconv.Itoa(c.Spec.DynRange),
+				formatFloat(c.MeasuredK),
+				strconv.Itoa(c.MeasuredDR),
+				alg.String(),
+				formatFloat(sd),
+				formatFloat(c.RelStdDev[alg]),
+				formatFloat(c.MaxErr[alg]),
+				strconv.Itoa(c.Distinct[alg]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCells reads a calibration table written by SaveCells.
+func LoadCells(r io.Reader) ([]grid.CellResult, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("selector: empty calibration table")
+	}
+	var out []grid.CellResult
+	index := map[grid.CellSpec]int{}
+	for i, row := range rows {
+		if i == 0 {
+			continue // header
+		}
+		if len(row) != 10 {
+			return nil, fmt.Errorf("selector: row %d has %d fields, want 10", i, len(row))
+		}
+		n, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		cond, err := parseFloat(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		dr, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		spec := grid.CellSpec{N: n, Cond: cond, DynRange: dr}
+		idx, ok := index[spec]
+		if !ok {
+			mk, err := parseFloat(row[3])
+			if err != nil {
+				return nil, fmt.Errorf("selector: row %d: %w", i, err)
+			}
+			mdr, err := strconv.Atoi(row[4])
+			if err != nil {
+				return nil, fmt.Errorf("selector: row %d: %w", i, err)
+			}
+			out = append(out, grid.CellResult{
+				Spec:       spec,
+				MeasuredK:  mk,
+				MeasuredDR: mdr,
+				StdDev:     map[sum.Algorithm]float64{},
+				RelStdDev:  map[sum.Algorithm]float64{},
+				MaxErr:     map[sum.Algorithm]float64{},
+				Distinct:   map[sum.Algorithm]int{},
+			})
+			idx = len(out) - 1
+			index[spec] = idx
+		}
+		alg, err := sum.ParseAlgorithm(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		sd, err := parseFloat(row[6])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		rel, err := parseFloat(row[7])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		maxErr, err := parseFloat(row[8])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		distinct, err := strconv.Atoi(row[9])
+		if err != nil {
+			return nil, fmt.Errorf("selector: row %d: %w", i, err)
+		}
+		cell := &out[idx]
+		cell.StdDev[alg] = sd
+		cell.RelStdDev[alg] = rel
+		cell.MaxErr[alg] = maxErr
+		cell.Distinct[alg] = distinct
+	}
+	return out, nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func parseFloat(s string) (float64, error) {
+	if s == "inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

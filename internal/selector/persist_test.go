@@ -1,0 +1,83 @@
+package selector
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sum"
+	"repro/internal/tree"
+)
+
+func TestSaveLoadCellsRoundTrip(t *testing.T) {
+	pol := Calibrate(CalibrationConfig{
+		Ns:     []int{256},
+		Ks:     []float64{1, 1e4, math.Inf(1)},
+		DRs:    []int{0, 16},
+		Trials: 10,
+		Shape:  tree.Balanced,
+		Seed:   1,
+	})
+	var buf bytes.Buffer
+	if err := SaveCells(&buf, pol.Cells()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCells(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(pol.Cells()) {
+		t.Fatalf("loaded %d cells, want %d", len(loaded), len(pol.Cells()))
+	}
+	for i, want := range pol.Cells() {
+		got := loaded[i]
+		if got.Spec != want.Spec {
+			t.Errorf("cell %d spec %v != %v", i, got.Spec, want.Spec)
+		}
+		if got.MeasuredDR != want.MeasuredDR {
+			t.Errorf("cell %d measured dr", i)
+		}
+		if !sameFloat(got.MeasuredK, want.MeasuredK) {
+			t.Errorf("cell %d measured k: %g vs %g", i, got.MeasuredK, want.MeasuredK)
+		}
+		for _, alg := range sum.PaperAlgorithms {
+			if !sameFloat(got.StdDev[alg], want.StdDev[alg]) ||
+				!sameFloat(got.RelStdDev[alg], want.RelStdDev[alg]) ||
+				!sameFloat(got.MaxErr[alg], want.MaxErr[alg]) ||
+				got.Distinct[alg] != want.Distinct[alg] {
+				t.Errorf("cell %d alg %v metrics differ", i, alg)
+			}
+		}
+	}
+	// A policy rebuilt from the loaded table must make identical
+	// decisions.
+	rebuilt := NewCalibratedPolicy(loaded, 4)
+	p := ProfileOf(gen.Spec{N: 256, Cond: 1e4, DynRange: 16, Seed: 9}.Generate())
+	for _, tol := range []float64{1e-9, 1e-13, 0} {
+		a1, _ := pol.Select(p, Requirement{Tolerance: tol})
+		a2, _ := rebuilt.Select(p, Requirement{Tolerance: tol})
+		if a1 != a2 {
+			t.Errorf("tol %g: decisions differ: %v vs %v", tol, a1, a2)
+		}
+	}
+}
+
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestLoadCellsRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"n,cond\n1,2,3\n",
+		"h1,h2,h3,h4,h5,h6,h7,h8,h9,h10\nx,1,0,1,0,ST,0,0,0,1\n",
+		"h1,h2,h3,h4,h5,h6,h7,h8,h9,h10\n1,1,0,1,0,NOPE,0,0,0,1\n",
+	}
+	for i, c := range cases {
+		if _, err := LoadCells(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package selector implements the paper's proposed contribution: an
+// intelligent runtime that profiles the mathematical properties of the
+// floating-point values to be reduced (n, condition number, dynamic
+// range, sign uniformity) and selects the cheapest reduction algorithm
+// that achieves an application-specified reproducibility target
+// (Sections V-C/V-D and Fig 12).
+//
+// Two policies are provided: an analytic HeuristicPolicy derived from
+// error-bound shapes, and a CalibratedPolicy backed by measured
+// variability over a parameter-space sweep (the grid package). Both
+// are deterministic functions of the profile, so every rank of a
+// distributed reduction reaches the same decision without extra
+// coordination beyond sharing the profile.
+package selector
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dd"
+	"repro/internal/fpu"
+	"repro/internal/reduce"
+)
+
+// Profile summarizes the runtime-estimable properties of a value set.
+// Profiles are mergeable, so a global profile can be computed with one
+// cheap AllReduce before the real reduction.
+type Profile struct {
+	// N is the number of values (zeros included).
+	N int64
+	// Sum is the running sum in composite precision — accurate enough
+	// to detect near-total cancellation (~106 bits).
+	Sum dd.DD
+	// SumAbs is the running sum of |x| in composite precision.
+	SumAbs dd.DD
+	// MaxExp and MinExp are the extreme binary exponents of the nonzero
+	// values; valid only when HasNonzero.
+	MaxExp, MinExp int
+	HasNonzero     bool
+	// Pos, Neg count strictly positive and negative values.
+	Pos, Neg int64
+}
+
+// Cond estimates the sum condition number k = sum|x| / |sum x| from the
+// profile. All-zero or empty profiles return 1; profiles whose sum
+// cancels below composite-precision resolution return +Inf.
+func (p Profile) Cond() float64 {
+	abs := p.SumAbs.Float64()
+	if abs == 0 {
+		return 1
+	}
+	s := p.Sum.Float64()
+	if s == 0 {
+		return math.Inf(1)
+	}
+	return abs / math.Abs(s)
+}
+
+// DynRange returns the binary dynamic range of the profiled values.
+func (p Profile) DynRange() int {
+	if !p.HasNonzero {
+		return 0
+	}
+	return p.MaxExp - p.MinExp
+}
+
+// SameSign reports whether every nonzero value shares one sign (k = 1).
+func (p Profile) SameSign() bool { return p.Pos == 0 || p.Neg == 0 }
+
+// String renders the profile's headline numbers.
+func (p Profile) String() string {
+	return fmt.Sprintf("profile{n=%d k=%.3g dr=%d sameSign=%v}",
+		p.N, p.Cond(), p.DynRange(), p.SameSign())
+}
+
+// Merge combines two profiles; the result describes the union of the
+// two value sets.
+func (p Profile) Merge(q Profile) Profile {
+	out := Profile{
+		N:      p.N + q.N,
+		Sum:    p.Sum.Add(q.Sum),
+		SumAbs: p.SumAbs.Add(q.SumAbs),
+		Pos:    p.Pos + q.Pos,
+		Neg:    p.Neg + q.Neg,
+	}
+	switch {
+	case p.HasNonzero && q.HasNonzero:
+		out.HasNonzero = true
+		out.MaxExp = max(p.MaxExp, q.MaxExp)
+		out.MinExp = min(p.MinExp, q.MinExp)
+	case p.HasNonzero:
+		out.HasNonzero, out.MaxExp, out.MinExp = true, p.MaxExp, p.MinExp
+	case q.HasNonzero:
+		out.HasNonzero, out.MaxExp, out.MinExp = true, q.MaxExp, q.MinExp
+	}
+	return out
+}
+
+// Add folds one value into the profile.
+func (p Profile) Add(x float64) Profile {
+	p.N++
+	if x == 0 {
+		return p
+	}
+	p.Sum = p.Sum.AddFloat64(x)
+	p.SumAbs = p.SumAbs.AddFloat64(math.Abs(x))
+	e := fpu.Exponent(x)
+	if !p.HasNonzero {
+		p.HasNonzero = true
+		p.MaxExp, p.MinExp = e, e
+	} else {
+		if e > p.MaxExp {
+			p.MaxExp = e
+		}
+		if e < p.MinExp {
+			p.MinExp = e
+		}
+	}
+	if x > 0 {
+		p.Pos++
+	} else {
+		p.Neg++
+	}
+	return p
+}
+
+// ProfileOf profiles a slice in one streaming pass.
+func ProfileOf(xs []float64) Profile {
+	var p Profile
+	for _, x := range xs {
+		p = p.Add(x)
+	}
+	return p
+}
+
+// ProfileOp is a reduce.Op over profiles, for computing a global profile
+// with one mpirt AllReduce before the numeric reduction.
+type ProfileOp struct{}
+
+// Name implements reduce.Op.
+func (ProfileOp) Name() string { return "profile" }
+
+// Leaf lifts a single value into a profile.
+func (ProfileOp) Leaf(x float64) reduce.State {
+	var p Profile
+	return p.Add(x)
+}
+
+// Merge combines two profile states.
+func (ProfileOp) Merge(a, b reduce.State) reduce.State {
+	return a.(Profile).Merge(b.(Profile))
+}
+
+// Finalize returns the profiled condition number (the headline scalar);
+// callers that need the full profile should keep the state instead.
+func (ProfileOp) Finalize(s reduce.State) float64 { return s.(Profile).Cond() }

@@ -1,0 +1,86 @@
+package selector
+
+import (
+	"repro/internal/mpirt"
+	"repro/internal/sum"
+	"repro/internal/tree"
+)
+
+// Selector is the user-facing intelligent runtime: profile the data,
+// consult the policy, run the cheapest acceptable reduction.
+type Selector struct {
+	Policy Policy
+	Req    Requirement
+}
+
+// New returns a Selector with the analytic policy and the given
+// tolerance (relative run-to-run variability; 0 demands bitwise
+// reproducibility).
+func New(tolerance float64) *Selector {
+	return &Selector{Policy: NewHeuristicPolicy(), Req: Requirement{Tolerance: tolerance}}
+}
+
+// Choose profiles xs and returns the selected algorithm with the
+// policy's predicted variability.
+func (s *Selector) Choose(xs []float64) (sum.Algorithm, float64) {
+	return s.Policy.Select(ProfileOf(xs), s.Req)
+}
+
+// Sum selects an algorithm for xs and computes the sum with it,
+// returning both.
+func (s *Selector) Sum(xs []float64) (float64, sum.Algorithm) {
+	alg, _ := s.Choose(xs)
+	return alg.Sum(xs), alg
+}
+
+// ReduceTree selects an algorithm from the profile of xs and reduces xs
+// under the given tree plan with it.
+func (s *Selector) ReduceTree(p tree.Plan, xs []float64) (float64, sum.Algorithm) {
+	alg, _ := s.Choose(xs)
+	return ReduceTreeWith(alg, p, xs), alg
+}
+
+// ReduceTreeWith reduces xs under plan p with an already-chosen
+// algorithm, dispatching to the unboxed generic executors.
+func ReduceTreeWith(alg sum.Algorithm, p tree.Plan, xs []float64) float64 {
+	switch alg {
+	case sum.StandardAlg, sum.PairwiseAlg:
+		return tree.Reduce[float64](sum.STMonoid{}, p, xs)
+	case sum.KahanAlg:
+		return tree.Reduce[sum.KState](sum.KahanMonoid{}, p, xs)
+	case sum.NeumaierAlg:
+		return tree.Reduce[sum.NState](sum.NeumaierMonoid{}, p, xs)
+	case sum.CompositeAlg:
+		return tree.Reduce(sum.CPMonoid{}, p, xs)
+	case sum.PreroundedAlg:
+		return tree.Reduce[sum.PRState](sum.DefaultPRConfig().Monoid(), p, xs)
+	}
+	panic("selector: invalid algorithm " + alg.String())
+}
+
+// AdaptiveReduce performs an intelligently selected global sum over a
+// simulated communicator:
+//
+//  1. each rank profiles its local values (one streaming pass);
+//  2. the profiles are merged with one AllReduce (profiles are small
+//     and their merge is cheap and insensitive to order at the
+//     resolution that matters);
+//  3. every rank applies the policy to the identical global profile,
+//     reaching the same algorithm choice with no extra coordination;
+//  4. the selected operator runs the real reduction.
+//
+// Returns the sum (valid on the root, ok=true there) and the algorithm
+// every rank agreed on.
+func AdaptiveReduce(r *mpirt.Rank, root int, local []float64, s *Selector,
+	topo mpirt.Topology, mode mpirt.Mode) (result float64, alg sum.Algorithm, ok bool) {
+	localProf := ProfileOf(local)
+	st := r.AllReduce(localProf, ProfileOp{}, topo, mpirt.FixedOrder)
+	global := st.(Profile)
+	alg, _ = s.Policy.Select(global, s.Req)
+	op := alg.Op()
+	reduced := r.Reduce(root, alg.LocalState(local), op, topo, mode)
+	if reduced == nil {
+		return 0, alg, false
+	}
+	return op.Finalize(reduced), alg, true
+}

@@ -1,0 +1,307 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mpirt"
+	"repro/internal/sum"
+	"repro/internal/tree"
+)
+
+func TestProfileBasics(t *testing.T) {
+	xs := []float64{1, 2, -4, 0, 256}
+	p := ProfileOf(xs)
+	if p.N != 5 {
+		t.Errorf("N = %d", p.N)
+	}
+	if got := p.Sum.Float64(); got != 255 {
+		t.Errorf("sum = %g", got)
+	}
+	if got := p.SumAbs.Float64(); got != 263 {
+		t.Errorf("sumabs = %g", got)
+	}
+	if p.DynRange() != 8 {
+		t.Errorf("dr = %d, want 8", p.DynRange())
+	}
+	if p.SameSign() {
+		t.Error("mixed signs not detected")
+	}
+	if k := p.Cond(); math.Abs(k-263.0/255.0) > 1e-12 {
+		t.Errorf("k = %g", k)
+	}
+}
+
+func TestProfileMatchesMetrics(t *testing.T) {
+	for _, spec := range []gen.Spec{
+		{N: 1000, Cond: 1, DynRange: 16, Seed: 1},
+		{N: 1000, Cond: 1e5, DynRange: 8, Seed: 2},
+		{N: 1000, Cond: math.Inf(1), DynRange: 32, Seed: 3},
+	} {
+		xs := spec.Generate()
+		p := ProfileOf(xs)
+		if got, want := p.DynRange(), metrics.DynRange(xs); got != want {
+			t.Errorf("%v: profile dr %d != metrics %d", spec, got, want)
+		}
+		pk, mk := p.Cond(), metrics.CondNumber(xs)
+		switch {
+		case math.IsInf(mk, 1):
+			if !math.IsInf(pk, 1) {
+				t.Errorf("%v: profile missed full cancellation: k=%g", spec, pk)
+			}
+		default:
+			if math.Abs(math.Log10(pk)-math.Log10(mk)) > 0.01 {
+				t.Errorf("%v: profile k %g vs exact %g", spec, pk, mk)
+			}
+		}
+	}
+}
+
+func TestProfileMergeEquivalence(t *testing.T) {
+	xs := gen.Spec{N: 999, Cond: 1e3, DynRange: 24, Seed: 4}.Generate()
+	whole := ProfileOf(xs)
+	merged := ProfileOf(xs[:300]).Merge(ProfileOf(xs[300:]))
+	if whole.N != merged.N || whole.Pos != merged.Pos || whole.Neg != merged.Neg {
+		t.Error("counts differ after merge")
+	}
+	if whole.DynRange() != merged.DynRange() {
+		t.Error("dynamic range differs after merge")
+	}
+	if math.Abs(whole.Cond()-merged.Cond()) > 1e-6*whole.Cond() {
+		t.Errorf("condition estimate differs: %g vs %g", whole.Cond(), merged.Cond())
+	}
+}
+
+func TestProfileEmptyAndZeros(t *testing.T) {
+	var p Profile
+	if p.Cond() != 1 || p.DynRange() != 0 || !p.SameSign() {
+		t.Error("empty profile defaults wrong")
+	}
+	z := ProfileOf([]float64{0, 0})
+	if z.N != 2 || z.Cond() != 1 || z.HasNonzero {
+		t.Error("zero-only profile wrong")
+	}
+	e := (Profile{}).Merge(ProfileOf([]float64{3}))
+	if e.N != 1 || !e.HasNonzero {
+		t.Error("merge with empty lost data")
+	}
+}
+
+func TestHeuristicLadder(t *testing.T) {
+	hp := NewHeuristicPolicy()
+	p := ProfileOf(gen.Spec{N: 4096, Cond: 1e4, DynRange: 16, Seed: 5}.Generate())
+	st := hp.Predict(sum.StandardAlg, p)
+	k := hp.Predict(sum.KahanAlg, p)
+	cp := hp.Predict(sum.CompositeAlg, p)
+	pr := hp.Predict(sum.PreroundedAlg, p)
+	if !(st > k && k > cp && cp > pr) {
+		t.Errorf("prediction ladder violated: ST=%g K=%g CP=%g PR=%g", st, k, cp, pr)
+	}
+	if pr != 0 {
+		t.Errorf("PR prediction must be 0, got %g", pr)
+	}
+}
+
+func TestHeuristicSelectionByTolerance(t *testing.T) {
+	s := New(0)
+	// Well-conditioned data with a loose tolerance: cheapest wins.
+	easy := gen.Spec{N: 1024, Cond: 1, DynRange: 4, Seed: 6}.Generate()
+	s.Req.Tolerance = 1e-9
+	if alg, _ := s.Choose(easy); alg != sum.StandardAlg {
+		t.Errorf("easy data should pick ST, got %v", alg)
+	}
+	// Same data, bitwise requirement: PR.
+	s.Req.Tolerance = 0
+	if alg, _ := s.Choose(easy); alg != sum.PreroundedAlg {
+		t.Errorf("t=0 should pick PR, got %v", alg)
+	}
+	// Fully cancelling data: predictions blow up to Inf -> PR for any
+	// finite tolerance.
+	zero := gen.SumZeroSeries(1024, 16, 7)
+	s.Req.Tolerance = 1e-6
+	if alg, _ := s.Choose(zero); alg != sum.PreroundedAlg {
+		t.Errorf("k=inf should pick PR, got %v", alg)
+	}
+}
+
+func TestSelectionMonotoneInTolerance(t *testing.T) {
+	s := New(0)
+	xs := gen.Spec{N: 8192, Cond: 1e5, DynRange: 16, Seed: 8}.Generate()
+	prevRank := -1
+	for _, tol := range []float64{1e-3, 1e-6, 1e-9, 1e-12, 1e-15, 0} {
+		s.Req.Tolerance = tol
+		alg, _ := s.Choose(xs)
+		if r := alg.CostRank(); r < prevRank {
+			t.Errorf("tightening tolerance to %g cheapened the algorithm to %v", tol, alg)
+		} else {
+			prevRank = r
+		}
+	}
+}
+
+func TestSelectorSumUsesChoice(t *testing.T) {
+	s := New(1e-9)
+	xs := gen.Spec{N: 512, Cond: 1, DynRange: 2, Seed: 9}.Generate()
+	got, alg := s.Sum(xs)
+	if alg != sum.StandardAlg {
+		t.Errorf("alg = %v", alg)
+	}
+	if got != sum.Standard(xs) {
+		t.Errorf("sum %g != ST sum", got)
+	}
+}
+
+func TestReduceTreeRespectsChoice(t *testing.T) {
+	s := New(0) // bitwise: PR
+	xs := gen.SumZeroSeries(2048, 24, 10)
+	r := fpu.NewRNG(11)
+	vals := map[float64]bool{}
+	for i := 0; i < 10; i++ {
+		v, alg := s.ReduceTree(tree.NewPlan(tree.Random, len(xs), r), xs)
+		if alg != sum.PreroundedAlg {
+			t.Fatalf("alg = %v", alg)
+		}
+		vals[v] = true
+	}
+	if len(vals) != 1 {
+		t.Errorf("bitwise selection produced %d distinct results", len(vals))
+	}
+}
+
+func TestCalibratedPolicySelects(t *testing.T) {
+	pol := Calibrate(CalibrationConfig{
+		Ns:     []int{512},
+		Ks:     []float64{1, 1e4, 1e8},
+		DRs:    []int{0, 16},
+		Trials: 20,
+		Seed:   12,
+	})
+	if len(pol.Cells()) != 6 {
+		t.Fatalf("calibration table size %d", len(pol.Cells()))
+	}
+	// Easy profile, loose tolerance: cheap algorithm.
+	easy := ProfileOf(gen.Spec{N: 512, Cond: 1, DynRange: 0, Seed: 13}.Generate())
+	alg, _ := pol.Select(easy, Requirement{Tolerance: 1e-9})
+	if alg.CostRank() > sum.KahanAlg.CostRank() {
+		t.Errorf("easy profile chose %v", alg)
+	}
+	// Hard profile, tight tolerance: expensive algorithm.
+	hard := ProfileOf(gen.Spec{N: 512, Cond: 1e8, DynRange: 16, Seed: 14}.Generate())
+	algH, _ := pol.Select(hard, Requirement{Tolerance: 1e-14})
+	if algH.CostRank() < sum.CompositeAlg.CostRank() {
+		t.Errorf("hard profile chose %v", algH)
+	}
+	// Tolerance 0 must always yield a bitwise-reproducible choice.
+	algZ, pred := pol.Select(hard, Requirement{Tolerance: 0})
+	if pred != 0 {
+		t.Errorf("t=0 prediction %g", pred)
+	}
+	if algZ != sum.PreroundedAlg && algZ != sum.CompositeAlg {
+		t.Errorf("t=0 chose %v", algZ)
+	}
+}
+
+func TestCalibratedFallsBackWhenEmpty(t *testing.T) {
+	pol := NewCalibratedPolicy(nil, 0)
+	p := ProfileOf([]float64{1, 2, 3})
+	alg, _ := pol.Select(p, Requirement{Tolerance: 1e-9})
+	if !alg.Valid() {
+		t.Error("fallback selection invalid")
+	}
+}
+
+func TestAdaptiveReduceAgreementAndResult(t *testing.T) {
+	xs := gen.Spec{N: 8192, Cond: 1, DynRange: 8, Seed: 15}.Generate()
+	const ranks = 8
+	per := len(xs) / ranks
+	s := New(1e-9)
+	w := mpirt.NewWorld(ranks, mpirt.Config{})
+	algs := make([]sum.Algorithm, ranks)
+	var got float64
+	err := w.Run(func(r *mpirt.Rank) {
+		lo, hi := r.ID*per, (r.ID+1)*per
+		v, alg, ok := AdaptiveReduce(r, 0, xs[lo:hi], s, mpirt.Binomial, mpirt.FixedOrder)
+		algs[r.ID] = alg
+		if ok {
+			got = v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < ranks; i++ {
+		if algs[i] != algs[0] {
+			t.Fatalf("ranks disagreed on algorithm: %v vs %v", algs[i], algs[0])
+		}
+	}
+	if algs[0] != sum.StandardAlg {
+		t.Errorf("well-conditioned data chose %v", algs[0])
+	}
+	ref := metrics.AbsSum(xs) // same-sign data: sum == abssum
+	if math.Abs(got-ref) > 1e-6*ref {
+		t.Errorf("adaptive sum %g vs %g", got, ref)
+	}
+}
+
+func TestAdaptiveReduceBitwiseUnderNondeterminism(t *testing.T) {
+	xs := gen.SumZeroSeries(4096, 24, 16)
+	const ranks = 16
+	per := len(xs) / ranks
+	s := New(0)
+	results := map[float64]bool{}
+	for trial := 0; trial < 5; trial++ {
+		w := mpirt.NewWorld(ranks, mpirt.Config{Jitter: 100000, Seed: uint64(trial)})
+		var got float64
+		err := w.Run(func(r *mpirt.Rank) {
+			lo, hi := r.ID*per, (r.ID+1)*per
+			if v, alg, ok := AdaptiveReduce(r, 0, xs[lo:hi], s, mpirt.Binomial, mpirt.ArrivalOrder); ok {
+				if alg != sum.PreroundedAlg {
+					panic("t=0 must select PR")
+				}
+				got = v
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[got] = true
+	}
+	if len(results) != 1 {
+		t.Errorf("adaptive t=0 reduce produced %d distinct results", len(results))
+	}
+}
+
+func TestHeuristicPredictAllAlgorithms(t *testing.T) {
+	hp := NewHeuristicPolicy()
+	p := ProfileOf(gen.Spec{N: 4096, Cond: 100, DynRange: 8, Seed: 60}.Generate())
+	// Pairwise must predict less variability than serial ST.
+	if hp.Predict(sum.PairwiseAlg, p) >= hp.Predict(sum.StandardAlg, p) {
+		t.Error("pairwise should beat ST")
+	}
+	// Neumaier matches Kahan at first order.
+	if hp.Predict(sum.NeumaierAlg, p) != hp.Predict(sum.KahanAlg, p) {
+		t.Error("Neumaier prediction should match Kahan")
+	}
+	// Unknown algorithm predicts +Inf.
+	if !math.IsInf(hp.Predict(sum.Algorithm(99), p), 1) {
+		t.Error("invalid algorithm should predict Inf")
+	}
+	// Empty profile is handled (n clamped to 1).
+	var empty Profile
+	if v := hp.Predict(sum.StandardAlg, empty); v <= 0 || math.IsNaN(v) {
+		t.Errorf("empty profile prediction %g", v)
+	}
+}
+
+func TestReduceTreeWithAllAlgorithms(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	p := tree.IdentityPlan(tree.Balanced)
+	for _, alg := range sum.Algorithms {
+		if got := ReduceTreeWith(alg, p, xs); got != 15 {
+			t.Errorf("%v tree reduce = %g", alg, got)
+		}
+	}
+}

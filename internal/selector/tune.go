@@ -1,0 +1,65 @@
+package selector
+
+import (
+	"math"
+
+	"repro/internal/sum"
+)
+
+// TunePR sizes the prerounded operator for a profile and tolerance —
+// the paper's Section III-C "precision tuning" idea applied to the one
+// algorithm with a precision knob. PR drops everything more than F*W
+// bits below the largest operand's bin, so fewer folds are cheaper but
+// coarser; TunePR returns the cheapest configuration whose modeled
+// relative error stays within the tolerance (bitwise reproducibility is
+// preserved by every configuration — only accuracy varies).
+//
+// The error model: each operand loses at most 2^(maxExp - (F-1)*W + 1)
+// to the dropped residual, so the total absolute loss is bounded by
+// n times that, and the relative loss is that over |sum| = sumAbs/k.
+// The bin width W is lowered from the default only when the operand
+// count exceeds the exactness capacity 2^(52-W).
+func TunePR(p Profile, req Requirement) sum.PRConfig {
+	cfg := sum.DefaultPRConfig()
+	// Capacity first: shrink W until n fits (wider capacity, narrower
+	// bins, more folds needed for the same accuracy).
+	n := p.N
+	if n < 1 {
+		n = 1
+	}
+	for cfg.W > 8 && n > cfg.Capacity() {
+		cfg.W--
+	}
+	if !p.HasNonzero {
+		cfg.F = 1
+		return cfg
+	}
+	tol := req.Tolerance
+	if tol <= 0 {
+		// Bitwise demanded: accuracy is capped by what maxFold buys.
+		cfg.F = 4
+		return cfg
+	}
+	k := p.Cond()
+	sumAbs := p.SumAbs.Float64()
+	maxAbs := math.Ldexp(1, p.MaxExp+1)
+	for f := 1; f <= 8; f++ {
+		// Relative dropped-residual bound for F = f.
+		dropped := float64(n) * math.Ldexp(maxAbs, -(f-1)*cfg.W+1)
+		rel := dropped * k / sumAbs
+		if math.IsInf(k, 1) {
+			rel = math.Inf(1) // zero sums: only absolute accuracy exists
+		}
+		if rel <= tol || f == 8 {
+			cfg.F = f
+			if cfg.F > 8 {
+				cfg.F = 8
+			}
+			break
+		}
+	}
+	if cfg.F < 1 || cfg.F > 8 {
+		cfg.F = 4
+	}
+	return cfg
+}

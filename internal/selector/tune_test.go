@@ -1,0 +1,81 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bigref"
+	"repro/internal/gen"
+	"repro/internal/sum"
+)
+
+func TestTunePRFoldsScaleWithTolerance(t *testing.T) {
+	p := ProfileOf(gen.Spec{N: 4096, Cond: 100, DynRange: 16, Seed: 1}.Generate())
+	prevF := 0
+	for _, tol := range []float64{1e-3, 1e-9, 1e-15, 1e-25} {
+		cfg := TunePR(p, Requirement{Tolerance: tol})
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("tol %g: invalid config %v", tol, err)
+		}
+		if cfg.F < prevF {
+			t.Errorf("tightening tolerance reduced folds: %d -> %d at %g", prevF, cfg.F, tol)
+		}
+		prevF = cfg.F
+	}
+	// Loose tolerance should not need the full fold budget.
+	loose := TunePR(p, Requirement{Tolerance: 1e-3})
+	tight := TunePR(p, Requirement{Tolerance: 1e-25})
+	if loose.F >= tight.F {
+		t.Errorf("no tuning effect: loose F=%d, tight F=%d", loose.F, tight.F)
+	}
+}
+
+func TestTunePRCapacity(t *testing.T) {
+	// A profile bigger than the default capacity must narrow W.
+	p := Profile{N: 1 << 28}
+	p.HasNonzero = true
+	cfg := TunePR(p, Requirement{Tolerance: 1e-12})
+	if cfg.Capacity() < 1<<28 {
+		t.Errorf("tuned capacity %d below n", cfg.Capacity())
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunePREdgeProfiles(t *testing.T) {
+	var empty Profile
+	cfg := TunePR(empty, Requirement{Tolerance: 1e-12})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.F != 1 {
+		t.Errorf("empty profile F = %d, want minimal", cfg.F)
+	}
+	// Bitwise tolerance gets the default accuracy budget.
+	p := ProfileOf([]float64{1, 2, 3})
+	if cfg := TunePR(p, Requirement{Tolerance: 0}); cfg.F != 4 {
+		t.Errorf("t=0 F = %d, want 4", cfg.F)
+	}
+	// Fully cancelling profiles saturate at the fold cap.
+	z := ProfileOf(gen.SumZeroSeries(256, 16, 3))
+	if cfg := TunePR(z, Requirement{Tolerance: 1e-9}); cfg.F != 8 {
+		t.Errorf("k=inf F = %d, want 8 (best effort)", cfg.F)
+	}
+}
+
+func TestTunedConfigMeetsToleranceEmpirically(t *testing.T) {
+	// The tuned configuration's actual error must respect the modeled
+	// tolerance on generated data.
+	for _, tol := range []float64{1e-6, 1e-10, 1e-14} {
+		xs := gen.Spec{N: 4096, Cond: 1e3, DynRange: 24, Seed: 7}.Generate()
+		p := ProfileOf(xs)
+		cfg := TunePR(p, Requirement{Tolerance: tol})
+		got := sum.PreroundedWith(cfg, xs)
+		exact := bigref.SumFloat64(xs)
+		rel := math.Abs(got-exact) / math.Abs(exact)
+		if rel > tol {
+			t.Errorf("tol %g: tuned config F=%d gave rel err %g", tol, cfg.F, rel)
+		}
+	}
+}

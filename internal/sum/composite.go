@@ -1,0 +1,47 @@
+package sum
+
+import "repro/internal/dd"
+
+// Composite computes the composite-precision sum (CP): the running sum
+// is an unevaluated (value, error) pair — effectively double-double —
+// with the error term kept separate throughout and folded in only at
+// the end, per Taufer et al. (IPDPS 2010). CP is an "enhanced form of
+// compensated summation" (paper, Section V-B): every step uses an exact
+// error-free transformation and renormalizes, so it is strictly
+// stronger than Kahan and Neumaier.
+func Composite(xs []float64) float64 {
+	acc := dd.Zero
+	for _, x := range xs {
+		acc = acc.AddFloat64(x)
+	}
+	return acc.Float64()
+}
+
+// CompositeAcc is the streaming form of CP.
+type CompositeAcc struct{ acc dd.DD }
+
+// Add folds x into the running composite-precision sum.
+func (a *CompositeAcc) Add(x float64) { a.acc = a.acc.AddFloat64(x) }
+
+// Sum folds the carried error term into the value — the step CP defers
+// to the very end.
+func (a *CompositeAcc) Sum() float64 { return a.acc.Float64() }
+
+// Reset restores the accumulator to zero.
+func (a *CompositeAcc) Reset() { a.acc = dd.Zero }
+
+// State exposes the raw (value, error) pair for tree merging.
+func (a *CompositeAcc) State() dd.DD { return a.acc }
+
+// CPMonoid is the mergeable tree form of CP: partial states are
+// double-double pairs combined with the accurate double-double addition.
+type CPMonoid struct{}
+
+// Leaf lifts an operand.
+func (CPMonoid) Leaf(x float64) dd.DD { return dd.FromFloat64(x) }
+
+// Merge combines two composite partial sums.
+func (CPMonoid) Merge(a, b dd.DD) dd.DD { return a.Add(b) }
+
+// Finalize folds the error term into the value at the root.
+func (CPMonoid) Finalize(s dd.DD) float64 { return s.Float64() }

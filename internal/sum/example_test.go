@@ -1,0 +1,61 @@
+package sum_test
+
+import (
+	"fmt"
+
+	"repro/internal/sum"
+)
+
+// The four paper algorithms on the classic absorption example.
+func Example() {
+	xs := []float64{1e16, 1, -1e16}
+	fmt.Println("ST:", sum.Standard(xs))
+	fmt.Println("K: ", sum.Kahan(xs))
+	fmt.Println("CP:", sum.Composite(xs))
+	fmt.Println("PR:", sum.Prerounded(xs))
+	// Output:
+	// ST: 0
+	// K:  0
+	// CP: 1
+	// PR: 1
+}
+
+// Streaming accumulation is the local phase of a distributed reduction.
+func ExampleAccumulator() {
+	acc := sum.CompositeAlg.NewAccumulator()
+	for i := 0; i < 10; i++ {
+		acc.Add(0.1)
+	}
+	fmt.Printf("%.17g\n", acc.Sum())
+	// Output: 1
+}
+
+// Tree-mergeable states let an algorithm run under any reduction tree;
+// the prerounded monoid's merge is exactly associative.
+func ExamplePRMonoid() {
+	m := sum.DefaultPRConfig().Monoid()
+	a := m.Merge(m.Leaf(1e16), m.Leaf(1))
+	b := m.Leaf(-1e16)
+	left := m.Finalize(m.Merge(a, b))
+	right := m.Finalize(m.Merge(m.Leaf(1e16), m.Merge(m.Leaf(1), b)))
+	fmt.Println(left, right, left == right)
+	// Output: 1 1 true
+}
+
+// Fold and Pairwise realize the two extreme tree shapes of Fig 1.
+func ExampleAlgorithm_Op() {
+	op := sum.KahanAlg.Op()
+	st := op.Leaf(0.5)
+	st = op.Merge(st, op.Leaf(0.25))
+	st = op.Merge(st, op.Leaf(0.25))
+	fmt.Println(op.Finalize(st))
+	// Output: 1
+}
+
+// Dot products inherit their summation algorithm's guarantees.
+func ExampleDot() {
+	a := []float64{0x1p30, 0x1p30, 2}
+	b := []float64{0x1p30, -0x1p30, 0.5}
+	fmt.Println(sum.Dot(sum.PreroundedAlg, a, b))
+	// Output: 1
+}

@@ -1,0 +1,124 @@
+package sum
+
+import (
+	"repro/internal/fpu"
+	"repro/internal/superacc"
+)
+
+// Expansion summation (Shewchuk 1997): the running sum is kept as a
+// nonoverlapping expansion — a list of floats whose sum is *exactly*
+// the sum of everything absorbed so far. Growing the expansion by one
+// operand costs one TwoSum per surviving component, so the worst case
+// is O(n) per add, but for realistic data the expansion stays short
+// (its length is bounded by the number of distinct exponent "bands" in
+// flight, at most 39 for full-range float64 data).
+//
+// Because the represented value is exact, the rounded result is the
+// correctly rounded sum and is independent of operand order: expansion
+// summation is an alternative reproducible operator, traded off against
+// PR's fixed O(F) state (an expansion state is variable-length and its
+// merge costs O(len_a + len_b) TwoSums).
+
+// ExpState is a partial-reduction state for expansion summation: a
+// nonoverlapping expansion in increasing-magnitude order.
+type ExpState struct {
+	comps []float64
+}
+
+// growExpansion adds x to the expansion in place (Shewchuk's
+// grow-expansion with zero elimination).
+func growExpansion(comps []float64, x float64) []float64 {
+	q := x
+	out := comps[:0]
+	for _, c := range comps {
+		s, e := fpu.TwoSum(q, c)
+		if e != 0 {
+			out = append(out, e)
+		}
+		q = s
+	}
+	if q != 0 {
+		out = append(out, q)
+	}
+	return out
+}
+
+// Value rounds the expansion to the nearest float64. Expansions are not
+// canonical — different insertion orders can decompose the same exact
+// value differently — so the rounding goes through the exact
+// superaccumulator, which depends only on the represented value. That
+// keeps the root result bitwise identical for every reduction tree.
+func (s ExpState) Value() float64 {
+	var a superacc.Acc
+	for _, c := range s.comps {
+		a.Add(c)
+	}
+	return a.Float64()
+}
+
+// Len returns the number of live components (diagnostic).
+func (s ExpState) Len() int { return len(s.comps) }
+
+// ExpansionAcc is the streaming form of expansion summation.
+type ExpansionAcc struct {
+	st ExpState
+}
+
+// Add folds x into the expansion exactly.
+func (a *ExpansionAcc) Add(x float64) {
+	if x == 0 {
+		return
+	}
+	a.st.comps = growExpansion(a.st.comps, x)
+}
+
+// Sum rounds the exact expansion to a float64.
+func (a *ExpansionAcc) Sum() float64 { return a.st.Value() }
+
+// Reset restores the accumulator to zero.
+func (a *ExpansionAcc) Reset() { a.st.comps = a.st.comps[:0] }
+
+// State exposes the expansion for tree merging. The returned state
+// shares the accumulator's backing array; merge it or copy it before
+// further Adds.
+func (a *ExpansionAcc) State() ExpState {
+	return ExpState{comps: append([]float64(nil), a.st.comps...)}
+}
+
+// ExpMonoid is the mergeable tree form of expansion summation. Its
+// partial states represent their sums exactly, so — like PR — the root
+// value is bitwise identical under every reduction tree.
+type ExpMonoid struct{}
+
+// Leaf lifts an operand.
+func (ExpMonoid) Leaf(x float64) ExpState {
+	if x == 0 {
+		return ExpState{}
+	}
+	return ExpState{comps: []float64{x}}
+}
+
+// Merge combines two expansions exactly.
+func (ExpMonoid) Merge(a, b ExpState) ExpState {
+	if len(a.comps) < len(b.comps) {
+		a, b = b, a
+	}
+	comps := append([]float64(nil), a.comps...)
+	for _, c := range b.comps {
+		comps = growExpansion(comps, c)
+	}
+	return ExpState{comps: comps}
+}
+
+// Finalize rounds the root expansion.
+func (ExpMonoid) Finalize(s ExpState) float64 { return s.Value() }
+
+// Expansion computes the exact, correctly rounded, order-independent
+// sum of xs via expansion summation.
+func Expansion(xs []float64) float64 {
+	var a ExpansionAcc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Sum()
+}

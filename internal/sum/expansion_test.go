@@ -1,0 +1,189 @@
+package sum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/reduce"
+)
+
+func TestExpansionExactSimple(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{1e16, 1, -1e16}, 1},
+		{[]float64{1e9, 1e-9, -1e9}, 1e-9},
+		{[]float64{0.1, 0.2, -0.3}, 0.1 + 0.2 - 0.3}, // rounded exactly
+	}
+	for _, c := range cases {
+		if got := Expansion(c.xs); got != bigref.SumFloat64(c.xs) {
+			t.Errorf("Expansion(%v) = %g, want exact %g", c.xs, got, bigref.SumFloat64(c.xs))
+		}
+		_ = c.want
+	}
+}
+
+func TestExpansionMatchesExactOracleProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := fpu.NewRNG(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(300)-150)
+		}
+		return Expansion(xs) == bigref.SumFloat64(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpansionBitwiseReproducibleUnderTrees(t *testing.T) {
+	r := fpu.NewRNG(3)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(200)-100)
+	}
+	m := ExpMonoid{}
+	want := Expansion(xs)
+	// Serial fold and balanced reductions over shuffles must agree
+	// bitwise.
+	for trial := 0; trial < 10; trial++ {
+		r.Shuffle(xs)
+		if got := reduce.Fold[ExpState](m, xs); got != want {
+			t.Fatalf("fold trial %d: %g != %g", trial, got, want)
+		}
+		if got := reduce.Pairwise[ExpState](m, xs, nil); got != want {
+			t.Fatalf("pairwise trial %d: %g != %g", trial, got, want)
+		}
+	}
+}
+
+func TestExpansionLengthStaysBounded(t *testing.T) {
+	var a ExpansionAcc
+	r := fpu.NewRNG(4)
+	for i := 0; i < 100000; i++ {
+		a.Add(math.Ldexp(r.Float64()*2-1, r.Intn(120)-60))
+	}
+	if n := a.st.Len(); n > 45 {
+		t.Errorf("expansion grew to %d components", n)
+	}
+	if got, want := a.Sum(), a.st.Value(); got != want {
+		t.Errorf("Sum %g != state value %g", got, want)
+	}
+}
+
+func TestExpansionAccReset(t *testing.T) {
+	var a ExpansionAcc
+	a.Add(5)
+	a.Reset()
+	if a.Sum() != 0 {
+		t.Error("reset failed")
+	}
+	a.Add(7)
+	if a.Sum() != 7 {
+		t.Error("post-reset add failed")
+	}
+}
+
+func TestExpansionStateIsolation(t *testing.T) {
+	var a ExpansionAcc
+	a.Add(1)
+	st := a.State()
+	a.Add(1e-30)
+	if st.Value() != 1 {
+		t.Error("State() shares mutation with accumulator")
+	}
+}
+
+func TestExpMonoidMergeEmpty(t *testing.T) {
+	m := ExpMonoid{}
+	if got := m.Finalize(m.Merge(m.Leaf(0), m.Leaf(3))); got != 3 {
+		t.Errorf("merge with empty = %g", got)
+	}
+	if got := m.Finalize(m.Leaf(0)); got != 0 {
+		t.Errorf("empty leaf = %g", got)
+	}
+}
+
+func TestDotVariants(t *testing.T) {
+	r := fpu.NewRNG(5)
+	n := 2000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Ldexp(r.Float64()*2-1, r.Intn(30)-15)
+		b[i] = math.Ldexp(r.Float64()*2-1, r.Intn(30)-15)
+	}
+	exact := DotExact(a, b)
+	// CP and PR dots must be at least as accurate as ST.
+	eST := math.Abs(DotStandard(a, b) - exact)
+	eK := math.Abs(DotKahan(a, b) - exact)
+	eCP := math.Abs(DotComposite(a, b) - exact)
+	ePR := math.Abs(DotPrerounded(a, b) - exact)
+	if eCP > eST || ePR > eST {
+		t.Errorf("dot accuracy ladder violated: ST=%g K=%g CP=%g PR=%g", eST, eK, eCP, ePR)
+	}
+}
+
+func TestDotPreroundedPermutationInvariant(t *testing.T) {
+	r := fpu.NewRNG(6)
+	n := 1000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Ldexp(r.Float64()*2-1, r.Intn(60)-30)
+		b[i] = math.Ldexp(r.Float64()*2-1, r.Intn(60)-30)
+	}
+	want := DotPrerounded(a, b)
+	for trial := 0; trial < 10; trial++ {
+		// Permute the index pairing jointly.
+		perm := r.Perm(n)
+		pa := make([]float64, n)
+		pb := make([]float64, n)
+		for i, j := range perm {
+			pa[i], pb[i] = a[j], b[j]
+		}
+		if got := DotPrerounded(pa, pb); got != want {
+			t.Fatalf("PR dot order-dependent: %g vs %g", got, want)
+		}
+	}
+}
+
+func TestDotCancellingVectors(t *testing.T) {
+	// a·b with exact cancellation: ST loses it, CP/PR keep it.
+	a := []float64{1e8, 1e8, 1.0}
+	b := []float64{1e8, -1e8, 1e-8}
+	exact := DotExact(a, b) // = 1e-8
+	if exact != 1e-8 {
+		t.Fatalf("oracle = %g", exact)
+	}
+	if got := DotComposite(a, b); got != 1e-8 {
+		t.Errorf("CP dot = %g", got)
+	}
+	if got := DotStandard(a, b); got == 1e-8 {
+		t.Log("ST happened to be exact here (acceptable)")
+	}
+}
+
+func TestDotDispatchAndMismatch(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	for _, alg := range Algorithms {
+		if got := Dot(alg, a, b); got != 11 {
+			t.Errorf("%v dot = %g", alg, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	DotStandard([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,60 @@
+package sum
+
+import "repro/internal/fpu"
+
+// Neumaier computes Neumaier's improved compensated sum: like Kahan,
+// but the compensation step branches on operand magnitude so the error
+// is captured exactly even when the addend dominates the running sum,
+// and the correction is added once at the end.
+func Neumaier(xs []float64) float64 {
+	var s, c float64
+	for _, x := range xs {
+		t := s + x
+		if abs(s) >= abs(x) {
+			c += (s - t) + x
+		} else {
+			c += (x - t) + s
+		}
+		s = t
+	}
+	return s + c
+}
+
+// NeumaierAcc is the streaming form of Neumaier summation.
+type NeumaierAcc struct{ s, c float64 }
+
+// Add folds x into the running sum.
+func (a *NeumaierAcc) Add(x float64) {
+	t := a.s + x
+	if abs(a.s) >= abs(x) {
+		a.c += (a.s - t) + x
+	} else {
+		a.c += (x - t) + a.s
+	}
+	a.s = t
+}
+
+// Sum returns the current sum with the correction applied.
+func (a *NeumaierAcc) Sum() float64 { return a.s + a.c }
+
+// Reset restores the accumulator to zero.
+func (a *NeumaierAcc) Reset() { *a = NeumaierAcc{} }
+
+// NState is the partial state of the Neumaier tree operator.
+type NState struct{ S, C float64 }
+
+// NeumaierMonoid is the mergeable tree form: partial sums combine with
+// an exact TwoSum, and corrections accumulate in plain arithmetic.
+type NeumaierMonoid struct{}
+
+// Leaf lifts an operand.
+func (NeumaierMonoid) Leaf(x float64) NState { return NState{S: x} }
+
+// Merge combines two partial states.
+func (NeumaierMonoid) Merge(a, b NState) NState {
+	s, e := fpu.TwoSum(a.S, b.S)
+	return NState{S: s, C: a.C + b.C + e}
+}
+
+// Finalize applies the accumulated correction once, at the root.
+func (NeumaierMonoid) Finalize(s NState) float64 { return s.S + s.C }

@@ -1,0 +1,291 @@
+package sum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/reduce"
+)
+
+// randomTreeReduce reduces xs under m with a random tree: it repeatedly
+// merges two randomly chosen partial states until one remains. This is
+// a stronger scramble than permutation alone — both shape and operand
+// placement vary.
+func randomTreeReduce(m PRMonoid, xs []float64, r *fpu.RNG) float64 {
+	if len(xs) == 0 {
+		return m.Finalize(m.Leaf(0))
+	}
+	states := make([]PRState, len(xs))
+	for i, x := range xs {
+		states[i] = m.Leaf(x)
+	}
+	for len(states) > 1 {
+		i := r.Intn(len(states))
+		j := r.Intn(len(states) - 1)
+		if j >= i {
+			j++
+		}
+		merged := m.Merge(states[i], states[j])
+		// Remove i and j, append merged.
+		if i < j {
+			i, j = j, i
+		}
+		states[i] = states[len(states)-1]
+		states = states[:len(states)-1]
+		if j == len(states) {
+			j = i
+		}
+		states[j] = states[len(states)-1]
+		states = states[:len(states)-1]
+		states = append(states, merged)
+	}
+	return m.Finalize(states[0])
+}
+
+func TestPRBitwiseReproducibleUnderRandomTrees(t *testing.T) {
+	m := DefaultPRConfig().Monoid()
+	r := fpu.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + r.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(120)-60)
+		}
+		want := Prerounded(xs)
+		for rep := 0; rep < 10; rep++ {
+			r.Shuffle(xs)
+			if got := randomTreeReduce(m, xs, r); got != want {
+				t.Fatalf("trial %d rep %d: PR not reproducible: %g vs %g (bits %x vs %x)",
+					trial, rep, got, want, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestPRMergeExactlyAssociativeAndCommutative(t *testing.T) {
+	m := DefaultPRConfig().Monoid()
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) ||
+			math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		// Documented limitation: exactness holds for |x| <= 2^1020.
+		if math.Abs(a) > 0x1p1020 || math.Abs(b) > 0x1p1020 || math.Abs(c) > 0x1p1020 {
+			return true
+		}
+		sa, sb, sc := m.Leaf(a), m.Leaf(b), m.Leaf(c)
+		left := m.Merge(m.Merge(sa, sb), sc)
+		right := m.Merge(sa, m.Merge(sb, sc))
+		if m.Finalize(left) != m.Finalize(right) {
+			return false
+		}
+		ab := m.Finalize(m.Merge(sa, sb))
+		ba := m.Finalize(m.Merge(sb, sa))
+		return ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRAccuracyNearExact(t *testing.T) {
+	// With W=26, F=4 the retained precision is ~104 bits below the
+	// largest operand: for moderate dynamic ranges PR must match the
+	// correctly rounded sum.
+	r := fpu.NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		n := 100 + r.Intn(1000)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(40)-20)
+		}
+		got := Prerounded(xs)
+		want := bigref.SumFloat64(xs)
+		// Allow a few ulps of the max operand's dropped tail.
+		maxAbs := 0.0
+		for _, x := range xs {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		tol := float64(n) * maxAbs * 0x1p-78 // F*W - W = 78 retained bits below top bin
+		if math.Abs(got-want) > tol {
+			t.Errorf("trial %d: PR error %g exceeds bound %g", trial, math.Abs(got-want), tol)
+		}
+	}
+}
+
+func TestPRExactOnSameBinIntegers(t *testing.T) {
+	// Small integers all live in adjacent bins: PR must be exact.
+	xs := []float64{1, 2, 3, 4, 5, -3, -2, 10}
+	if got := Prerounded(xs); got != 20 {
+		t.Errorf("PR integer sum = %g, want 20", got)
+	}
+}
+
+func TestPRWideDynamicRangeDrops(t *testing.T) {
+	// A value more than F*W bits below the max is entirely discarded —
+	// deterministically.
+	xs := []float64{1.0, 0x1p-200}
+	got := Prerounded(xs)
+	if got != 1.0 {
+		t.Errorf("PR should drop the tiny term deterministically: %g", got)
+	}
+	// And the drop is order-independent.
+	if got2 := Prerounded([]float64{0x1p-200, 1.0}); got2 != got {
+		t.Errorf("drop order-dependent: %g vs %g", got2, got)
+	}
+}
+
+func TestPRSubnormalsAndZeros(t *testing.T) {
+	xs := []float64{0, 0x1p-1074, 0x1p-1074, 0, 0x1p-1073}
+	got := Prerounded(xs)
+	want := 0x1p-1072
+	if got != want {
+		t.Errorf("subnormal PR sum = %g, want %g", got, want)
+	}
+	if got := Prerounded([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("all-zero PR sum = %g", got)
+	}
+}
+
+func TestPRNearOverflowBins(t *testing.T) {
+	// Values near the top of the exponent range exercise the scaled
+	// round-to-multiple path.
+	xs := []float64{0x1p1020, 0x1p1019, -0x1p1020}
+	got := Prerounded(xs)
+	if got != 0x1p1019 {
+		t.Errorf("near-overflow PR sum = %g, want %g", got, 0x1p1019)
+	}
+}
+
+func TestPRConfigValidation(t *testing.T) {
+	bad := []PRConfig{{W: 4, F: 4}, {W: 60, F: 4}, {W: 26, F: 0}, {W: 26, F: 9}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+	if err := DefaultPRConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if got := DefaultPRConfig().Capacity(); got != 1<<26 {
+		t.Errorf("capacity = %d, want %d", got, 1<<26)
+	}
+}
+
+func TestPRCapacityPanics(t *testing.T) {
+	cfg := PRConfig{W: 40, F: 2} // capacity 2^12 = 4096
+	defer func() {
+		if recover() == nil {
+			t.Error("expected capacity panic")
+		}
+	}()
+	acc := NewPreroundedAcc(cfg)
+	for i := 0; i < 5000; i++ {
+		acc.Add(1.0)
+	}
+}
+
+func TestPRFoldWidthTradeoff(t *testing.T) {
+	// More folds must not reduce accuracy.
+	r := fpu.NewRNG(5)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(60)-30)
+	}
+	ref := bigref.Sum(xs)
+	e1 := bigref.Err(PreroundedWith(PRConfig{W: 26, F: 1}, xs), ref)
+	e2 := bigref.Err(PreroundedWith(PRConfig{W: 26, F: 2}, xs), ref)
+	e4 := bigref.Err(PreroundedWith(PRConfig{W: 26, F: 4}, xs), ref)
+	if e2 > e1 || e4 > e2 {
+		t.Errorf("fold ladder violated: F=1:%g F=2:%g F=4:%g", e1, e2, e4)
+	}
+}
+
+func TestTwoPassReproducibleUnderPermutation(t *testing.T) {
+	r := fpu.NewRNG(6)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(100)-50)
+	}
+	want := PreroundedTwoPass(xs, 3)
+	for rep := 0; rep < 20; rep++ {
+		r.Shuffle(xs)
+		if got := PreroundedTwoPass(xs, 3); got != want {
+			t.Fatalf("two-pass not permutation-invariant: %g vs %g", got, want)
+		}
+	}
+}
+
+func TestTwoPassAccuracy(t *testing.T) {
+	r := fpu.NewRNG(7)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(30)-15)
+	}
+	got := PreroundedTwoPass(xs, 3)
+	want := bigref.SumFloat64(xs)
+	rel := math.Abs(got-want) / math.Abs(want)
+	if want != 0 && rel > 1e-12 {
+		t.Errorf("two-pass relative error %g too large", rel)
+	}
+}
+
+func TestTwoPassEdgeCases(t *testing.T) {
+	if got := PreroundedTwoPass(nil, 3); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+	if got := PreroundedTwoPass([]float64{0, 0}, 3); got != 0 {
+		t.Errorf("zeros = %g", got)
+	}
+	if got := PreroundedTwoPass([]float64{5}, 0); got != 5 {
+		t.Errorf("single with folds clamp = %g", got)
+	}
+	if got := PreroundedTwoPass([]float64{math.Inf(1)}, 2); !math.IsNaN(got) {
+		t.Errorf("inf should yield NaN, got %g", got)
+	}
+	// Subnormal-only input hits the q clamp path.
+	if got := PreroundedTwoPass([]float64{0x1p-1074, 0x1p-1074}, 4); got != 0x1p-1073 {
+		t.Errorf("subnormal two-pass = %g", got)
+	}
+}
+
+func TestPRStreamWindowShifts(t *testing.T) {
+	// Feed ascending magnitudes so the window shifts on every add, then
+	// compare against the descending feed (window never shifts).
+	xs := []float64{0x1p-40, 0x1p-10, 1.0, 0x1p30, 0x1p60}
+	asc := Prerounded(xs)
+	desc := Prerounded([]float64{0x1p60, 0x1p30, 1.0, 0x1p-10, 0x1p-40})
+	if asc != desc {
+		t.Errorf("window shift order-dependence: %g vs %g", asc, desc)
+	}
+}
+
+func TestPRMergeEmptyStates(t *testing.T) {
+	m := DefaultPRConfig().Monoid()
+	empty := m.Leaf(0)
+	one := m.Leaf(3.5)
+	if got := m.Finalize(m.Merge(empty, one)); got != 3.5 {
+		t.Errorf("merge(empty, x) = %g", got)
+	}
+	if got := m.Finalize(m.Merge(one, empty)); got != 3.5 {
+		t.Errorf("merge(x, empty) = %g", got)
+	}
+	if got := m.Finalize(m.Merge(empty, empty)); got != 0 {
+		t.Errorf("merge(empty, empty) = %g", got)
+	}
+}
+
+func TestPRReducePairwiseMatchesFold(t *testing.T) {
+	m := DefaultPRConfig().Monoid()
+	xs := hardSet(777, 13)
+	a := reduce.Fold[PRState](m, xs)
+	b := reduce.Pairwise[PRState](m, xs, nil)
+	if a != b {
+		t.Errorf("PR balanced vs serial differ: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,76 @@
+package sum
+
+import (
+	"math"
+
+	"repro/internal/fpu"
+)
+
+// PreroundedTwoPass computes a reproducible sum with the two-pass
+// pre-rounding scheme of Demmel & Hida: pass one finds the maximum
+// magnitude M (an exact, order-independent reduction); pass two rounds
+// every operand to a quantum derived from M and n so that the high
+// parts sum exactly, then recurses on the residuals for `folds` rounds.
+//
+// The result is bitwise identical for every permutation of xs (the
+// boundaries depend only on the multiset of values), at the cost of an
+// extra pass over the data compared to the one-pass binned form. Kept
+// as an ablation point against PreroundedWith.
+func PreroundedTwoPass(xs []float64, folds int) float64 {
+	if folds < 1 {
+		folds = 1
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := 0.0
+	for _, x := range xs {
+		if a := abs(x); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	if math.IsInf(m, 0) || m != m {
+		return math.NaN()
+	}
+	// k = ceil(log2(n+1)): headroom bits so n quanta-multiples sum exactly.
+	k := 0
+	for c := n; c > 0; c >>= 1 {
+		k++
+	}
+	res := make([]float64, n)
+	copy(res, xs)
+	q := fpu.Exponent(m) + 1 + k - 52
+	partials := make([]float64, 0, folds)
+	for round := 0; round < folds; round++ {
+		if q < -1074 {
+			// The quantum is below the subnormal grid: residuals are
+			// exactly representable, one final exact pass suffices.
+			q = -1074
+		}
+		s := 0.0
+		for i, r := range res {
+			hi, lo := roundToMultipleSafe(r, q)
+			s += hi // exact: multiples of 2^q within 2^53*2^q
+			res[i] = lo
+		}
+		partials = append(partials, s)
+		if q == -1074 {
+			break
+		}
+		// Residuals are bounded by 2^(q-1); derive the next quantum.
+		q = q + k - 52
+	}
+	// Fold the per-round partials lowest-first with exact compensation;
+	// the order is fixed so the result stays deterministic.
+	var s, comp float64
+	for i := len(partials) - 1; i >= 0; i-- {
+		t, e := fpu.TwoSum(s, partials[i])
+		s = t
+		comp += e
+	}
+	return s + comp
+}

@@ -1,0 +1,77 @@
+package sum
+
+import "sort"
+
+// Standard computes the naive left-to-right iterative sum (ST).
+func Standard(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Pairwise computes the sum with a recursive balanced split, falling
+// back to the iterative loop below blockSize (the usual cache-friendly
+// pairwise summation).
+func Pairwise(xs []float64) float64 {
+	const blockSize = 64
+	n := len(xs)
+	if n <= blockSize {
+		return Standard(xs)
+	}
+	half := n / 2
+	return Pairwise(xs[:half]) + Pairwise(xs[half:])
+}
+
+// SortedAscending sums |x|-ascending — the "conventional wisdom" order
+// for same-sign data (Section III-A of the paper). The input is not
+// modified.
+func SortedAscending(xs []float64) float64 {
+	return sortedSum(xs, func(a, b float64) bool { return abs(a) < abs(b) })
+}
+
+// SortedDescending sums |x|-descending — the conventional order for
+// mixed-sign data. The input is not modified.
+func SortedDescending(xs []float64) float64 {
+	return sortedSum(xs, func(a, b float64) bool { return abs(a) > abs(b) })
+}
+
+func sortedSum(xs []float64, less func(a, b float64) bool) float64 {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Slice(cp, func(i, j int) bool { return less(cp[i], cp[j]) })
+	return Standard(cp)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// StandardAcc is the streaming form of ST.
+type StandardAcc struct{ s float64 }
+
+// Add folds x into the running sum.
+func (a *StandardAcc) Add(x float64) { a.s += x }
+
+// Sum returns the current sum.
+func (a *StandardAcc) Sum() float64 { return a.s }
+
+// Reset restores the accumulator to zero.
+func (a *StandardAcc) Reset() { a.s = 0 }
+
+// STMonoid is the mergeable tree form of ST: partial state is the bare
+// partial sum.
+type STMonoid struct{}
+
+// Leaf lifts an operand.
+func (STMonoid) Leaf(x float64) float64 { return x }
+
+// Merge adds two partial sums (one floating-point add per tree node).
+func (STMonoid) Merge(a, b float64) float64 { return a + b }
+
+// Finalize returns the root sum.
+func (STMonoid) Finalize(s float64) float64 { return s }

@@ -1,0 +1,88 @@
+// Package sum32 reproduces the paper's Section III-C technique — "use
+// higher-precision floating-point types ... in a critical section of
+// code to curtail variability in a global sum" (He & Ding 2000) — at
+// the precision pair where it is used in practice: float32 data with a
+// float64 accumulator (the standard GPU/accelerator pattern).
+//
+// Three accumulators are provided:
+//
+//   - Naive: float32 sum of float32 data (the baseline whose result
+//     varies with reduction order at float32 ulp scale);
+//   - Kahan32: compensated entirely in float32;
+//   - Wide: float64 accumulation rounded to float32 once at the end —
+//     the "critical-section higher precision" fix. Each float32 deposit
+//     into a float64 accumulator is exact, so order sensitivity only
+//     enters through float64 roundoff ~2^-29 below float32's, and the
+//     final float32 rounding almost always hides it.
+//
+// ExactTo32 (superaccumulator-backed) is the oracle: the correctly
+// rounded float32 value of the exact sum.
+package sum32
+
+import (
+	"repro/internal/superacc"
+)
+
+// Naive sums float32 values in float32.
+func Naive(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Kahan32 is compensated summation entirely in float32.
+func Kahan32(xs []float32) float32 {
+	var s, c float32
+	for _, x := range xs {
+		y := x - c
+		t := s + y
+		c = (t - s) - y
+		s = t
+	}
+	return s
+}
+
+// Wide sums float32 values in a float64 accumulator and rounds once.
+// Every deposit is exact (float32 embeds in float64), so the technique
+// moves all order sensitivity ~29 bits below the result's precision.
+func Wide(xs []float32) float32 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return float32(s)
+}
+
+// ExactTo32 returns the exact sum correctly rounded to float32.
+func ExactTo32(xs []float32) float32 {
+	var a superacc.Acc
+	for _, x := range xs {
+		a.Add(float64(x)) // exact embedding
+	}
+	// Round the exact float64 value to float32. Double rounding is
+	// harmless here: the superaccumulator result is the correctly
+	// rounded float64, within half a float64 ulp of the true value,
+	// which is far below half a float32 ulp except at exact float32
+	// ties — and at a tie the float64 value equals the true value when
+	// the true value is representable in <= 53 bits. For the data this
+	// package targets that is the case; callers needing the last-bit
+	// tie guarantee should use the float64 oracle directly.
+	return float32(a.Float64())
+}
+
+// WideAcc is the streaming form of Wide.
+type WideAcc struct{ s float64 }
+
+// Add folds one float32 exactly into the accumulator.
+func (a *WideAcc) Add(x float32) { a.s += float64(x) }
+
+// Sum rounds the accumulator to float32.
+func (a *WideAcc) Sum() float32 { return float32(a.s) }
+
+// Sum64 exposes the full-precision accumulator value.
+func (a *WideAcc) Sum64() float64 { return a.s }
+
+// Reset restores the accumulator to zero.
+func (a *WideAcc) Reset() { a.s = 0 }

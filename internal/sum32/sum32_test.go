@@ -1,0 +1,115 @@
+package sum32
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpu"
+)
+
+func randomSet(n int, seed uint64) []float32 {
+	r := fpu.NewRNG(seed)
+	xs := make([]float32, n)
+	for i := range xs {
+		v := float32(math.Ldexp(r.Float64()+0.5, r.Intn(12)-6))
+		if r.Bool() {
+			v = -v
+		}
+		xs[i] = v
+	}
+	return xs
+}
+
+func shuffle32(xs []float32, r *fpu.RNG) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func TestExactCases(t *testing.T) {
+	xs := []float32{1, 2, 3, 4}
+	if Naive(xs) != 10 || Kahan32(xs) != 10 || Wide(xs) != 10 || ExactTo32(xs) != 10 {
+		t.Error("exact small sums wrong")
+	}
+	if Naive(nil) != 0 || Wide(nil) != 0 {
+		t.Error("empty sums wrong")
+	}
+}
+
+func TestWideBeatsNaiveAccuracy(t *testing.T) {
+	xs := randomSet(1<<18, 1)
+	exact := ExactTo32(xs)
+	wide := Wide(xs)
+	if wide != exact {
+		// The wide accumulator may differ from the tie-perfect oracle
+		// by at most one float32 ulp; naive can be much worse.
+		if math.Abs(float64(wide-exact)) > float64(ulp32(exact)) {
+			t.Errorf("wide %g vs exact %g", wide, exact)
+		}
+	}
+	naiveErr := math.Abs(float64(Naive(xs) - exact))
+	wideErr := math.Abs(float64(wide - exact))
+	if naiveErr < wideErr {
+		t.Errorf("naive (%g) beat wide (%g)?", naiveErr, wideErr)
+	}
+}
+
+func ulp32(x float32) float32 {
+	next := math.Nextafter32(x, float32(math.Inf(1)))
+	return next - x
+}
+
+func TestOrderSensitivityCurtailed(t *testing.T) {
+	// The section III-C claim: the wide accumulator curtails
+	// order-to-order variability of the float32 result.
+	xs := randomSet(1<<16, 2)
+	r := fpu.NewRNG(3)
+	naiveSet := map[float32]bool{}
+	wideSet := map[float32]bool{}
+	kahanSet := map[float32]bool{}
+	for trial := 0; trial < 30; trial++ {
+		shuffle32(xs, r)
+		naiveSet[Naive(xs)] = true
+		wideSet[Wide(xs)] = true
+		kahanSet[Kahan32(xs)] = true
+	}
+	if len(naiveSet) < 2 {
+		t.Error("naive float32 sum unexpectedly stable")
+	}
+	if len(wideSet) != 1 {
+		t.Errorf("wide accumulator produced %d distinct float32 results", len(wideSet))
+	}
+	if len(kahanSet) > len(naiveSet) {
+		t.Error("Kahan32 more variable than naive")
+	}
+}
+
+func TestWideAccStreaming(t *testing.T) {
+	var a WideAcc
+	for i := 0; i < 100; i++ {
+		a.Add(0.25)
+	}
+	if a.Sum() != 25 || a.Sum64() != 25 {
+		t.Errorf("streaming wide sum = %g / %g", a.Sum(), a.Sum64())
+	}
+	a.Reset()
+	if a.Sum() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestExactTo32CancellingSet(t *testing.T) {
+	xs := []float32{3.0e7, 1, -3.0e7}
+	// float32 naive loses the 1 (ulp(3e7) = 2 in float32... actually 2^25
+	// region: ulp = 2); exact recovers it.
+	if got := ExactTo32(xs); got != 1 {
+		t.Errorf("exact = %g, want 1", got)
+	}
+	if got := Naive(xs); got == 1 {
+		t.Log("naive coincidentally exact (ordering)")
+	}
+	if got := Wide(xs); got != 1 {
+		t.Errorf("wide = %g, want 1", got)
+	}
+}

@@ -1,0 +1,268 @@
+package superacc
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpu"
+)
+
+// refSum computes the correctly rounded sum via big.Float at high precision.
+func refSum(xs []float64) float64 {
+	acc := new(big.Float).SetPrec(2200)
+	for _, x := range xs {
+		acc.Add(acc, new(big.Float).SetPrec(2200).SetFloat64(x))
+	}
+	f, _ := acc.Float64()
+	return f
+}
+
+func TestSingleValues(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, math.Pi, 1e300, -1e300, 1e-300,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64,
+		0x1p-1022,               // smallest normal
+		0x1.fffffffffffffp-1023, // largest subnormal
+		1.5e-310,                // subnormal
+		6755399441055744.0,      // 1.5*2^52
+		-0x1.0000000000001p+0,   // 1+ulp
+	}
+	for _, x := range cases {
+		var a Acc
+		a.Add(x)
+		if got := a.Float64(); got != x && !(math.IsNaN(got) && math.IsNaN(x)) {
+			t.Errorf("roundtrip(%g) = %g (bits %x vs %x)", x, got,
+				math.Float64bits(got), math.Float64bits(x))
+		}
+	}
+}
+
+func TestExactCancellation(t *testing.T) {
+	var a Acc
+	a.Add(1e9)
+	a.Add(1e-9)
+	a.Add(-1e9)
+	if got := a.Float64(); got != 1e-9 {
+		t.Errorf("1e9 + 1e-9 - 1e9 = %g, want 1e-9", got)
+	}
+}
+
+func TestOrderIndependenceExhaustive(t *testing.T) {
+	xs := []float64{1e9, -1e9, 1e-9, 3.14, -2.5e8, 0x1p-1050}
+	perms := permute(len(xs))
+	var want float64
+	for pi, p := range perms {
+		var a Acc
+		for _, i := range p {
+			a.Add(xs[i])
+		}
+		got := a.Float64()
+		if pi == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("perm %d: sum %g != %g", pi, got, want)
+		}
+	}
+	if want != refSum(xs) {
+		t.Errorf("exact sum %g != reference %g", want, refSum(xs))
+	}
+}
+
+func permute(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	sub := permute(n - 1)
+	var out [][]int
+	for _, p := range sub {
+		for i := 0; i <= len(p); i++ {
+			q := make([]int, 0, n)
+			q = append(q, p[:i]...)
+			q = append(q, n-1)
+			q = append(q, p[i:]...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func TestAgainstBigFloatProperty(t *testing.T) {
+	rng := fpu.NewRNG(1234)
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		r := fpu.NewRNG(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Wide dynamic range, mixed signs.
+			e := r.Intn(600) - 300
+			xs[i] = math.Ldexp(r.Float64()*2-1, e)
+		}
+		got := Sum(xs)
+		want := refSum(xs)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Logf("sum mismatch: %g vs %g (n=%d seed=%d)", got, want, n, seed)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: nil}
+	_ = rng
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubnormalResults(t *testing.T) {
+	// Sum lands exactly in the subnormal range.
+	xs := []float64{0x1p-1060, 0x1p-1060, -0x1p-1061}
+	got := Sum(xs)
+	want := 0x1.8p-1060
+	if got != want {
+		t.Errorf("subnormal sum = %g, want %g", got, want)
+	}
+}
+
+func TestRoundingTiesToEven(t *testing.T) {
+	// 1 + 2^-53 is exactly halfway between 1 and 1+2^-52: must round to 1.
+	got := Sum([]float64{1, 0x1p-53})
+	if got != 1 {
+		t.Errorf("tie not rounded to even: %g (bits %x)", got, math.Float64bits(got))
+	}
+	// 1 + 2^-53 + 2^-100: sticky bit set, must round up.
+	got = Sum([]float64{1, 0x1p-53, 0x1p-100})
+	if got != 1+0x1p-52 {
+		t.Errorf("sticky rounding failed: %g", got)
+	}
+	// (1+2^-52) + 2^-53: halfway, mantissa odd, rounds up to 1+2^-51.
+	got = Sum([]float64{1 + 0x1p-52, 0x1p-53})
+	if got != 1+0x1p-51 {
+		t.Errorf("ties-to-even up case failed: %g", got)
+	}
+}
+
+func TestNegativeSums(t *testing.T) {
+	xs := []float64{-1.5, -2.25, 0.75}
+	if got := Sum(xs); got != -3.0 {
+		t.Errorf("negative sum = %g, want -3", got)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	var a Acc
+	for i := 0; i < 4; i++ {
+		a.Add(math.MaxFloat64)
+	}
+	if got := a.Float64(); !math.IsInf(got, 1) {
+		t.Errorf("4*MaxFloat64 should be +Inf, got %g", got)
+	}
+	a.Reset()
+	for i := 0; i < 4; i++ {
+		a.Add(-math.MaxFloat64)
+	}
+	if got := a.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("-4*MaxFloat64 should be -Inf, got %g", got)
+	}
+}
+
+func TestNaNPoisons(t *testing.T) {
+	var a Acc
+	a.Add(1)
+	a.Add(math.NaN())
+	if !math.IsNaN(a.Float64()) {
+		t.Error("NaN did not poison the accumulator")
+	}
+	a.Reset()
+	a.Add(math.Inf(1))
+	if !math.IsNaN(a.Float64()) {
+		t.Error("Inf should poison (exact sum undefined)")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	r := fpu.NewRNG(77)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = math.Ldexp(r.Float64()*2-1, r.Intn(100)-50)
+	}
+	var whole Acc
+	whole.AddSlice(xs)
+	var left, right Acc
+	left.AddSlice(xs[:400])
+	right.AddSlice(xs[400:])
+	left.Merge(&right)
+	if got, want := left.Float64(), whole.Float64(); got != want {
+		t.Errorf("merged sum %g != whole sum %g", got, want)
+	}
+	// Merge must not mutate its argument.
+	var rcheck Acc
+	rcheck.AddSlice(xs[400:])
+	if right.Float64() != rcheck.Float64() {
+		t.Error("Merge mutated its argument")
+	}
+}
+
+func TestSignAndIsZero(t *testing.T) {
+	var a Acc
+	if a.Sign() != 0 || !a.IsZero() {
+		t.Error("empty accumulator should be zero")
+	}
+	a.Add(3)
+	a.Add(-3)
+	if !a.IsZero() {
+		t.Error("3-3 should be exactly zero")
+	}
+	a.Add(-1e-300)
+	if a.Sign() != -1 {
+		t.Error("sign should be negative")
+	}
+	a.Add(2e-300)
+	if a.Sign() != 1 {
+		t.Error("sign should be positive")
+	}
+}
+
+func TestManyDepositsNormalization(t *testing.T) {
+	// Enough same-limb deposits to exercise intermediate carries.
+	var a Acc
+	n := 1 << 16
+	for i := 0; i < n; i++ {
+		a.Add(1.0)
+		a.Add(0x1p-40)
+	}
+	want := float64(n) + float64(n)*0x1p-40
+	if got := a.Float64(); got != want {
+		t.Errorf("repeated deposits: %g, want %g", got, want)
+	}
+}
+
+func TestBigFloatAgrees(t *testing.T) {
+	xs := []float64{1e9, -1e9, 1e-9, math.Pi, -1e-20}
+	var a Acc
+	a.AddSlice(xs)
+	bf := a.BigFloat(2200)
+	f64, _ := bf.Float64()
+	if f64 != a.Float64() {
+		t.Errorf("BigFloat %g disagrees with Float64 %g", f64, a.Float64())
+	}
+}
+
+func TestSumZeroSeries(t *testing.T) {
+	// Construct an exactly-cancelling set and shuffle it many times.
+	r := fpu.NewRNG(99)
+	base := make([]float64, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		v := math.Ldexp(r.Float64()+0.5, r.Intn(64)-32)
+		base = append(base, v, -v)
+	}
+	for trial := 0; trial < 20; trial++ {
+		r.Shuffle(base)
+		if got := Sum(base); got != 0 {
+			t.Fatalf("trial %d: exact-zero set summed to %g", trial, got)
+		}
+	}
+}

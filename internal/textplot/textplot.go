@@ -1,0 +1,288 @@
+// Package textplot renders the repository's experiment results as
+// terminal graphics: horizontal boxplots on a log scale (Figs 6, 7),
+// shaded heatmaps (Figs 9–12), bar charts (Figs 3, 5), and aligned
+// tables. Output is plain ASCII so it survives logs and CI transcripts.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// shades orders heatmap glyphs from lightest to darkest.
+const shades = " .:-=+*#%@"
+
+// Heatmap renders a rows×cols matrix of non-negative values on a
+// logarithmic shade scale. Rows are printed top-first with their labels;
+// +Inf cells print as '!', NaN as '?'. A legend maps shades to decades.
+func Heatmap(title string, rowLabels, colLabels []string, cells [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range cells {
+		for _, v := range row {
+			if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	logSpan := 1.0
+	if hi > lo {
+		logSpan = math.Log10(hi) - math.Log10(lo)
+	}
+	wLabel := maxLen(rowLabels)
+	wCol := maxLen(colLabels)
+	if wCol < 3 {
+		wCol = 3
+	}
+	for i, row := range cells {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%*s |", wLabel, label)
+		for _, v := range row {
+			fmt.Fprintf(&b, " %*s", wCol, strings.Repeat(string(shadeOf(v, lo, logSpan)), 3))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +", wLabel, "")
+	for range cells[0] {
+		fmt.Fprintf(&b, "-%s", strings.Repeat("-", wCol))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%*s  ", wLabel, "")
+	for j := range cells[0] {
+		label := ""
+		if j < len(colLabels) {
+			label = colLabels[j]
+		}
+		fmt.Fprintf(&b, " %*s", wCol, label)
+	}
+	b.WriteByte('\n')
+	if !math.IsInf(lo, 1) {
+		fmt.Fprintf(&b, "shade scale: ' '=0, '.'≈%.1e … '@'≈%.1e, '!'=∞\n", lo, hi)
+	}
+	return b.String()
+}
+
+func shadeOf(v, lo, logSpan float64) byte {
+	switch {
+	case math.IsNaN(v):
+		return '?'
+	case math.IsInf(v, 1):
+		return '!'
+	case v <= 0:
+		return shades[0]
+	}
+	frac := (math.Log10(v) - math.Log10(lo)) / logSpan
+	idx := 1 + int(frac*float64(len(shades)-2)+0.5)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// Boxplot renders horizontal boxplots of the labelled samples on a
+// shared log10 axis (absolute values; zeros pin to the axis floor).
+func Boxplot(title string, labels []string, stats []metrics.Stats, width int) string {
+	if width < 20 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range stats {
+		if s.N == 0 {
+			continue
+		}
+		for _, v := range []float64{s.Min, s.Max} {
+			if a := math.Abs(v); a > 0 {
+				lo = math.Min(lo, a)
+				hi = math.Max(hi, a)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) { // all zero
+		lo, hi = 1e-18, 1
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	lo = lo / 2 // margin so the minimum is visible
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	span := logHi - logLo
+	pos := func(v float64) int {
+		a := math.Abs(v)
+		if a <= lo {
+			return 0
+		}
+		p := int((math.Log10(a) - logLo) / span * float64(width-1))
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	wLabel := maxLen(labels)
+	for i, s := range stats {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		line := []byte(strings.Repeat(" ", width))
+		if s.N > 0 {
+			for p := pos(s.WhiskLo); p <= pos(s.WhiskHi); p++ {
+				line[p] = '-'
+			}
+			for p := pos(s.Q1); p <= pos(s.Q3); p++ {
+				line[p] = '='
+			}
+			line[pos(s.Median)] = '|'
+			for _, o := range s.Outliers {
+				line[pos(o)] = 'o'
+			}
+		}
+		fmt.Fprintf(&b, "%*s [%s] med=%.3e sd=%.3e\n", wLabel, label, line, s.Median, s.StdDev)
+	}
+	fmt.Fprintf(&b, "%*s  log10 axis: %.1e .. %.1e\n", wLabel, "", lo, hi)
+	return b.String()
+}
+
+// BarChart renders labelled values as horizontal bars scaled to the
+// maximum value.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	wLabel := maxLen(labels)
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "%*s |%s %.4g\n", wLabel, label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Histogram renders a metrics.Histogram as vertical magnitude bins with
+// horizontal count bars, plus markers the caller supplies (e.g. bound
+// lines) positioned by magnitude.
+func Histogram(title string, h metrics.Histogram, markers map[string]float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(h.Counts) == 0 {
+		fmt.Fprintf(&b, "(no nonzero observations; %d zeros)\n", h.Zeros)
+		return b.String()
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if h.Zeros > 0 {
+		fmt.Fprintf(&b, "%9s |%s %d\n", "0", strings.Repeat("#", scaleBar(h.Zeros, maxC, width)), h.Zeros)
+	}
+	for i, c := range h.Counts {
+		fmt.Fprintf(&b, "%9.1e |%s %d\n", h.BinCenter(i), strings.Repeat("#", scaleBar(c, maxC, width)), c)
+	}
+	// Stable marker order: sort names.
+	names := make([]string, 0, len(markers))
+	for name := range markers {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%9.1e ^ %s\n", markers[name], name)
+	}
+	return b.String()
+}
+
+func scaleBar(c, maxC, width int) int {
+	if maxC == 0 {
+		return 0
+	}
+	n := c * width / maxC
+	if c > 0 && n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Table renders rows under a header with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func maxLen(ss []string) int {
+	m := 0
+	for _, s := range ss {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestHeatmapBasic(t *testing.T) {
+	out := Heatmap("title",
+		[]string{"r1", "r2"},
+		[]string{"c1", "c2", "c3"},
+		[][]float64{{0, 1e-15, 1e-10}, {1e-12, math.Inf(1), math.NaN()}})
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "r1") || !strings.Contains(out, "c3") {
+		t.Error("missing labels")
+	}
+	if !strings.Contains(out, "!") {
+		t.Error("Inf cell not marked")
+	}
+	if !strings.Contains(out, "?") {
+		t.Error("NaN cell not marked")
+	}
+	if !strings.Contains(out, "shade scale") {
+		t.Error("missing legend")
+	}
+	// Larger values must shade darker than smaller ones.
+	r1 := lineContaining(out, "r1")
+	i10 := strings.IndexByte(shades, shadeAt(r1, 2))
+	i15 := strings.IndexByte(shades, shadeAt(r1, 1))
+	if i10 <= i15 {
+		t.Errorf("1e-10 (%d) should be darker than 1e-15 (%d): %q", i10, i15, r1)
+	}
+}
+
+// shadeAt slices the fixed-width cell layout: after '|' each cell is a
+// space followed by wCol=3 shade characters.
+func shadeAt(row string, cell int) byte {
+	rest := strings.SplitN(row, "|", 2)[1]
+	return rest[cell*4+1]
+}
+
+func lineContaining(s, sub string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, sub) {
+			return l
+		}
+	}
+	return ""
+}
+
+func TestBoxplotRendersAll(t *testing.T) {
+	stats := []metrics.Stats{
+		metrics.Describe([]float64{1e-12, 2e-12, 3e-12, 4e-12, 1e-9}),
+		metrics.Describe([]float64{0, 0, 0}),
+		{},
+	}
+	out := Boxplot("errors", []string{"ST", "PR", "none"}, stats, 60)
+	if !strings.Contains(out, "ST") || !strings.Contains(out, "PR") {
+		t.Error("missing labels")
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("missing median marker")
+	}
+	if !strings.Contains(out, "log10 axis") {
+		t.Error("missing axis legend")
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Error("too few lines")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("times", []string{"ST", "K", "CP", "PR"}, []float64{1, 2, 3, 6}, 30)
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	prev := -1
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n < prev {
+			t.Errorf("bars not monotone: %q", out)
+		}
+		prev = n
+	}
+	if !strings.Contains(lines[3], strings.Repeat("#", 30)) {
+		t.Error("max bar should reach full width")
+	}
+}
+
+func TestBarChartZeros(t *testing.T) {
+	out := BarChart("empty", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a") {
+		t.Error("label missing for zero bar")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"alg", "time"}, [][]string{{"ST", "1.0"}, {"PR", "6.5"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator width mismatch")
+	}
+	if !strings.HasPrefix(lines[2], "ST ") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	h := metrics.LogHistogram([]float64{1e-10, 1e-10, 1e-5, 0}, 6)
+	out := Histogram("errors", h, map[string]float64{"bound": 1e-3}, 20)
+	if !strings.Contains(out, "errors") || !strings.Contains(out, "#") {
+		t.Error("histogram missing content")
+	}
+	if !strings.Contains(out, "bound") {
+		t.Error("marker missing")
+	}
+	if !strings.Contains(out, "0 |") {
+		t.Error("zero row missing")
+	}
+	empty := Histogram("none", metrics.Histogram{}, nil, 20)
+	if !strings.Contains(empty, "no nonzero") {
+		t.Error("empty case not handled")
+	}
+}

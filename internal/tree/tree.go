@@ -1,0 +1,323 @@
+// Package tree models the reduction trees at the center of the paper:
+// full binary trees whose leaves are floating-point operands and whose
+// internal nodes are partial reductions. A tree varies along exactly
+// the two axes the paper studies — its shape and the assignment of
+// operands to leaves — and both axes are captured by a Plan.
+//
+// Plans are deterministic: the same Plan over the same operands always
+// produces the same result for a given algorithm. Nondeterminism is
+// injected by *generating* varied plans (NewPlan with different seeds),
+// mirroring how an exascale runtime would present a different tree on
+// every run, or by the mpirt package's arrival-order collectives.
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/fpu"
+	"repro/internal/reduce"
+)
+
+// Shape identifies a reduction-tree shape family.
+type Shape uint8
+
+const (
+	// Balanced is the completely balanced (parallel) tree of Fig 1(a).
+	Balanced Shape = iota
+	// Unbalanced is the completely unbalanced (serial) chain of Fig 1(b).
+	Unbalanced
+	// Random is a uniformly random binary-tree shape: partial states are
+	// merged in a random pairing order derived from the plan's seed.
+	Random
+	// Blocked models an MPI-style two-level reduction: the operands are
+	// split into contiguous blocks, each block is reduced serially (a
+	// rank's local sum), and the block partials are merged pairwise.
+	Blocked
+	// Knomial is a radix-k tree (default radix 4): each merge level
+	// folds k partials serially — the shape family production MPI
+	// collectives interpolate between Unbalanced (k = n) and Balanced
+	// (k = 2) with.
+	Knomial
+
+	numShapes
+)
+
+// Shapes lists every shape.
+var Shapes = []Shape{Balanced, Unbalanced, Random, Blocked, Knomial}
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Balanced:
+		return "balanced"
+	case Unbalanced:
+		return "unbalanced"
+	case Random:
+		return "random"
+	case Blocked:
+		return "blocked"
+	case Knomial:
+		return "knomial"
+	}
+	return fmt.Sprintf("Shape(%d)", uint8(s))
+}
+
+// MarshalText encodes the shape by name for JSON map keys.
+func (s Shape) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText decodes a shape name.
+func (s *Shape) UnmarshalText(b []byte) error {
+	for _, sh := range Shapes {
+		if sh.String() == string(b) {
+			*s = sh
+			return nil
+		}
+	}
+	return fmt.Errorf("tree: unknown shape %q", b)
+}
+
+// Plan is a fully determined reduction tree: a shape, an operand-to-leaf
+// assignment, and (for Random and Blocked) shape parameters.
+type Plan struct {
+	Shape Shape
+	// Perm maps leaf position i to operand index Perm[i]; nil means the
+	// identity assignment.
+	Perm []int
+	// Seed drives the Random shape's pairing order.
+	Seed uint64
+	// Blocks is the number of serial blocks for the Blocked shape
+	// (defaults to 16 when zero).
+	Blocks int
+	// Radix is the Knomial fan-in (defaults to 4 when zero).
+	Radix int
+}
+
+// IdentityPlan returns a plan with the identity leaf assignment.
+func IdentityPlan(shape Shape) Plan { return Plan{Shape: shape} }
+
+// NewPlan returns a plan with a random operand-to-leaf assignment drawn
+// from rng, for n operands. For Random shapes the pairing seed is drawn
+// from rng too.
+func NewPlan(shape Shape, n int, rng *fpu.RNG) Plan {
+	return Plan{Shape: shape, Perm: rng.Perm(n), Seed: rng.Uint64()}
+}
+
+// Depth returns the depth of the reduction tree over n leaves: the
+// number of merge levels an operand contribution can traverse.
+func (p Plan) Depth(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	switch p.Shape {
+	case Unbalanced:
+		return n - 1
+	case Balanced:
+		d := 0
+		for m := n; m > 1; m = (m + 1) / 2 {
+			d++
+		}
+		return d
+	case Blocked:
+		b := p.blocks()
+		if b > n {
+			b = n
+		}
+		per := (n + b - 1) / b
+		d := per - 1
+		for m := b; m > 1; m = (m + 1) / 2 {
+			d++
+		}
+		return d
+	case Knomial:
+		k := p.Radix
+		if k < 2 {
+			k = 4
+		}
+		d := 0
+		for m := n; m > 1; m = (m + k - 1) / k {
+			group := k
+			if m < k {
+				group = m
+			}
+			d += group - 1
+		}
+		return d
+	default: // Random: expected depth is O(sqrt(n)); report worst case.
+		return n - 1
+	}
+}
+
+func (p Plan) blocks() int {
+	if p.Blocks <= 0 {
+		return 16
+	}
+	return p.Blocks
+}
+
+// Executor runs plans over operand sets with a fixed algorithm, reusing
+// its internal buffers so repeated runs (the paper's 100–1000 trees per
+// data point) do not allocate.
+type Executor[S any] struct {
+	m      reduce.Monoid[S]
+	vals   []float64
+	states []S
+}
+
+// NewExecutor returns an executor for monoid m.
+func NewExecutor[S any](m reduce.Monoid[S]) *Executor[S] {
+	return &Executor[S]{m: m}
+}
+
+// Run reduces xs under plan p and returns the root value.
+func (e *Executor[S]) Run(p Plan, xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return e.m.Finalize(e.m.Leaf(0))
+	}
+	if p.Perm != nil && len(p.Perm) != n {
+		panic(fmt.Sprintf("tree: plan permutation length %d != %d operands", len(p.Perm), n))
+	}
+	if cap(e.vals) < n {
+		e.vals = make([]float64, n)
+	}
+	vals := e.vals[:n]
+	if p.Perm == nil {
+		copy(vals, xs)
+	} else {
+		for i, j := range p.Perm {
+			vals[i] = xs[j]
+		}
+	}
+	switch p.Shape {
+	case Unbalanced:
+		return reduce.Fold(e.m, vals)
+	case Balanced:
+		if cap(e.states) < n {
+			e.states = make([]S, n)
+		}
+		return reduce.Pairwise(e.m, vals, e.states)
+	case Blocked:
+		return e.runBlocked(p, vals)
+	case Knomial:
+		return e.runKnomial(p, vals)
+	case Random:
+		return e.runRandom(p, vals)
+	}
+	panic("tree: invalid shape " + p.Shape.String())
+}
+
+func (e *Executor[S]) runBlocked(p Plan, vals []float64) float64 {
+	n := len(vals)
+	b := p.blocks()
+	if b > n {
+		b = n
+	}
+	if cap(e.states) < b {
+		e.states = make([]S, b)
+	}
+	partials := e.states[:b]
+	per := (n + b - 1) / b
+	for i := 0; i < b; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		st := e.m.Leaf(vals[lo])
+		for _, x := range vals[lo+1 : hi] {
+			st = e.m.Merge(st, e.m.Leaf(x))
+		}
+		partials[i] = st
+	}
+	for b > 1 {
+		half := b / 2
+		for i := 0; i < half; i++ {
+			partials[i] = e.m.Merge(partials[2*i], partials[2*i+1])
+		}
+		if b%2 == 1 {
+			partials[half] = partials[b-1]
+			b = half + 1
+		} else {
+			b = half
+		}
+	}
+	return e.m.Finalize(partials[0])
+}
+
+func (e *Executor[S]) runKnomial(p Plan, vals []float64) float64 {
+	n := len(vals)
+	k := p.Radix
+	if k < 2 {
+		k = 4
+	}
+	if cap(e.states) < n {
+		e.states = make([]S, n)
+	}
+	level := e.states[:n]
+	for i, x := range vals {
+		level[i] = e.m.Leaf(x)
+	}
+	for n > 1 {
+		out := 0
+		for i := 0; i < n; i += k {
+			hi := i + k
+			if hi > n {
+				hi = n
+			}
+			st := level[i]
+			for _, s := range level[i+1 : hi] {
+				st = e.m.Merge(st, s)
+			}
+			level[out] = st
+			out++
+		}
+		n = out
+	}
+	return e.m.Finalize(level[0])
+}
+
+func (e *Executor[S]) runRandom(p Plan, vals []float64) float64 {
+	n := len(vals)
+	if cap(e.states) < n {
+		e.states = make([]S, n)
+	}
+	states := e.states[:n]
+	for i, x := range vals {
+		states[i] = e.m.Leaf(x)
+	}
+	rng := fpu.NewRNG(p.Seed)
+	for m := n; m > 1; m-- {
+		i := rng.Intn(m)
+		j := rng.Intn(m - 1)
+		if j >= i {
+			j++
+		}
+		merged := e.m.Merge(states[i], states[j])
+		// Compact the live prefix: merged takes the lower slot, the
+		// last live state fills the higher hole.
+		if i < j {
+			i, j = j, i
+		}
+		states[j] = merged
+		states[i] = states[m-1]
+	}
+	return e.m.Finalize(states[0])
+}
+
+// Reduce is a convenience one-shot form of Executor.Run.
+func Reduce[S any](m reduce.Monoid[S], p Plan, xs []float64) float64 {
+	return NewExecutor(m).Run(p, xs)
+}
+
+// Spread runs trials plans of the given shape over xs — each with a
+// fresh random leaf assignment drawn from rng — and returns the root
+// value of each run. This is the core measurement loop behind Figs 6,
+// 7, and 9–11.
+func Spread[S any](m reduce.Monoid[S], shape Shape, xs []float64, trials int, rng *fpu.RNG) []float64 {
+	ex := NewExecutor(m)
+	out := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		out[t] = ex.Run(NewPlan(shape, len(xs), rng), xs)
+	}
+	return out
+}

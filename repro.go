@@ -1,0 +1,89 @@
+// Package repro is a library for reproducible floating-point summation
+// at scale, reproducing "On the Need for Reproducible Numerical Accuracy
+// through Intelligent Runtime Selection of Reduction Algorithms at the
+// Extreme Scale" (Chapp, Johnston, Taufer — IEEE CLUSTER 2015).
+//
+// It provides:
+//
+//   - the paper's four summation algorithms — standard (ST), Kahan (K),
+//     composite precision (CP), and prerounded/binned (PR) — in one-shot,
+//     streaming, and tree-mergeable forms (Sum, NewAccumulator, Op);
+//   - reduction-tree simulation (balanced/unbalanced/random/blocked
+//     shapes with permuted operand assignment) and a simulated
+//     message-passing runtime with nondeterministic collectives;
+//   - data profiling (n, condition number, dynamic range) and the
+//     intelligent runtime that picks the cheapest algorithm meeting an
+//     application-specified reproducibility tolerance (New, Runtime);
+//   - an exact superaccumulator oracle (ExactSum) for validation.
+//
+// Quick start:
+//
+//	rt := repro.New(1e-12)            // tolerated relative variability
+//	total, report := rt.Sum(values)   // profiles, selects, sums
+//	fmt.Println(total, report)
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/selector"
+	"repro/internal/sum"
+	"repro/internal/superacc"
+)
+
+// Algorithm identifies a summation algorithm. The zero value is ST.
+type Algorithm = sum.Algorithm
+
+// The registered algorithms, in increasing cost order.
+const (
+	Standard   = sum.StandardAlg
+	Pairwise   = sum.PairwiseAlg
+	Kahan      = sum.KahanAlg
+	Neumaier   = sum.NeumaierAlg
+	Composite  = sum.CompositeAlg
+	Prerounded = sum.PreroundedAlg
+)
+
+// Algorithms lists every registered algorithm in cost order.
+var Algorithms = sum.Algorithms
+
+// PaperAlgorithms lists the four algorithms the paper evaluates.
+var PaperAlgorithms = sum.PaperAlgorithms
+
+// Accumulator is a streaming summation state.
+type Accumulator = sum.Accumulator
+
+// Runtime is the intelligent reduction runtime (the paper's proposal).
+type Runtime = core.Runtime
+
+// Report describes one adaptive reduction decision.
+type Report = core.Report
+
+// Profile summarizes the runtime-estimable properties of a value set.
+type Profile = selector.Profile
+
+// New returns a Runtime that keeps the relative run-to-run variability
+// of its reductions within tolerance; 0 demands bitwise reproducibility.
+func New(tolerance float64) *Runtime { return core.New(tolerance) }
+
+// Sum computes the sum of xs with the given algorithm.
+func Sum(alg Algorithm, xs []float64) float64 { return alg.Sum(xs) }
+
+// Dot computes the dot product of a and b with the given algorithm; the
+// Prerounded variant is bitwise reproducible under any reduction order.
+func Dot(alg Algorithm, a, b []float64) float64 { return sum.Dot(alg, a, b) }
+
+// ExactSum returns the exact, correctly rounded sum of xs (an
+// order-independent oracle backed by a Kulisch-style superaccumulator).
+func ExactSum(xs []float64) float64 { return superacc.Sum(xs) }
+
+// ProfileOf profiles xs in one streaming pass.
+func ProfileOf(xs []float64) Profile { return selector.ProfileOf(xs) }
+
+// CondNumber returns the exact sum condition number of xs
+// (sum|x| / |sum x|; +Inf when the exact sum is zero).
+func CondNumber(xs []float64) float64 { return metrics.CondNumber(xs) }
+
+// DynRange returns the binary dynamic range of xs (largest minus
+// smallest binary exponent over the nonzero values).
+func DynRange(xs []float64) int { return metrics.DynRange(xs) }

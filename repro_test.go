@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicSumAndExactSum(t *testing.T) {
+	xs := []float64{1e16, 1, -1e16}
+	if got := repro.ExactSum(xs); got != 1 {
+		t.Errorf("ExactSum = %g, want 1", got)
+	}
+	if got := repro.Sum(repro.Composite, xs); got != 1 {
+		t.Errorf("Composite sum = %g, want 1", got)
+	}
+	if got := repro.Sum(repro.Standard, xs); got != 0 {
+		t.Errorf("Standard sum = %g (expected absorption to 0)", got)
+	}
+}
+
+func TestPublicRuntime(t *testing.T) {
+	rt := repro.New(0)
+	xs := []float64{3.5, -3.5, 1.25, 2.75}
+	total, rep := rt.Sum(xs)
+	if total != 4 {
+		t.Errorf("runtime sum = %g", total)
+	}
+	if rep.Algorithm != repro.Prerounded {
+		t.Errorf("t=0 chose %v", rep.Algorithm)
+	}
+}
+
+func TestPublicProfileAndMetrics(t *testing.T) {
+	xs := []float64{500.5, -499.5}
+	if k := repro.CondNumber(xs); k != 1000 {
+		t.Errorf("CondNumber = %g", k)
+	}
+	if dr := repro.DynRange([]float64{1, 256}); dr != 8 {
+		t.Errorf("DynRange = %d", dr)
+	}
+	p := repro.ProfileOf(xs)
+	if math.Abs(p.Cond()-1000) > 1e-9 {
+		t.Errorf("profile k = %g", p.Cond())
+	}
+}
+
+func TestPublicAccumulators(t *testing.T) {
+	for _, alg := range repro.Algorithms {
+		acc := alg.NewAccumulator()
+		for i := 0; i < 100; i++ {
+			acc.Add(0.25)
+		}
+		if got := acc.Sum(); got != 25 {
+			t.Errorf("%v accumulator = %g", alg, got)
+		}
+	}
+	if len(repro.PaperAlgorithms) != 4 {
+		t.Error("paper algorithm set wrong")
+	}
+}
