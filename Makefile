@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test verify bench artifacts clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: static checks plus the full test suite
+# under the race detector (the parallel engine, grid.Sweep, and mpirt
+# all run goroutine pools that must stay race-clean).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+artifacts:
+	$(GO) run ./cmd/redbench -out results-quick
+
+clean:
+	rm -rf results-quick results-full

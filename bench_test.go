@@ -18,6 +18,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/interval"
 	"repro/internal/mpirt"
+	"repro/internal/parallel"
 	"repro/internal/reduce"
 	"repro/internal/sum"
 	"repro/internal/superacc"
@@ -336,6 +337,68 @@ func BenchmarkDot_PR(b *testing.B) { benchmarkDot(b, sum.DotPrerounded) }
 // ---- Extension: expansion (exact) summation vs PR ----
 
 func BenchmarkRawSum_Expansion(b *testing.B) { benchmarkRawSum(b, sum.Expansion) }
+
+// ---- Parallel engine: deterministic chunked reduction ----
+// The _seq benchmarks run the identical plan single-threaded; compare
+// ns/op against the _wN variants for the speedup (bounded by core
+// count — on a single-core host wN ≈ seq, which doubles as a measure of
+// the engine's scheduling overhead).
+
+func benchmarkParallelSum(b *testing.B, alg sum.Algorithm, workers int) {
+	xs := gen.SumZeroSeries(1<<20, 32, 7)
+	cfg := parallel.Config{Workers: workers}
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = parallel.Sum(alg, xs, cfg)
+	}
+}
+
+func benchmarkParallelSumSeq(b *testing.B, alg sum.Algorithm) {
+	xs := gen.SumZeroSeries(1<<20, 32, 7)
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = parallel.SeqSum(alg, xs, parallel.Config{})
+	}
+}
+
+func BenchmarkParallelSum_ST_seq(b *testing.B) { benchmarkParallelSumSeq(b, sum.StandardAlg) }
+func BenchmarkParallelSum_ST_w1(b *testing.B)  { benchmarkParallelSum(b, sum.StandardAlg, 1) }
+func BenchmarkParallelSum_ST_w2(b *testing.B)  { benchmarkParallelSum(b, sum.StandardAlg, 2) }
+func BenchmarkParallelSum_ST_w4(b *testing.B)  { benchmarkParallelSum(b, sum.StandardAlg, 4) }
+func BenchmarkParallelSum_ST_w8(b *testing.B)  { benchmarkParallelSum(b, sum.StandardAlg, 8) }
+
+func BenchmarkParallelSum_K_seq(b *testing.B) { benchmarkParallelSumSeq(b, sum.KahanAlg) }
+func BenchmarkParallelSum_K_w4(b *testing.B)  { benchmarkParallelSum(b, sum.KahanAlg, 4) }
+
+func BenchmarkParallelSum_CP_seq(b *testing.B) { benchmarkParallelSumSeq(b, sum.CompositeAlg) }
+func BenchmarkParallelSum_CP_w4(b *testing.B)  { benchmarkParallelSum(b, sum.CompositeAlg, 4) }
+
+func BenchmarkParallelSum_PR_seq(b *testing.B) { benchmarkParallelSumSeq(b, sum.PreroundedAlg) }
+func BenchmarkParallelSum_PR_w4(b *testing.B)  { benchmarkParallelSum(b, sum.PreroundedAlg, 4) }
+
+func benchmarkParallelExact(b *testing.B, workers int) {
+	xs := gen.SumZeroSeries(1<<20, 32, 7)
+	cfg := parallel.Config{Workers: workers}
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = parallel.ExactSum(xs, cfg)
+	}
+}
+
+func BenchmarkParallelExactSum_w1(b *testing.B) { benchmarkParallelExact(b, 1) }
+func BenchmarkParallelExactSum_w4(b *testing.B) { benchmarkParallelExact(b, 4) }
+
+func BenchmarkExtParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ParallelExt(benchCfg)
+		if !res.AllBitwiseStable() {
+			b.Fatal("parallel engine not bitwise stable")
+		}
+	}
+}
 
 // ---- Grid cell evaluation (the inner loop of Figs 9-12) ----
 

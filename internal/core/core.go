@@ -15,7 +15,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/selector"
 	"repro/internal/sum"
 	"repro/internal/tree"
@@ -24,6 +26,11 @@ import (
 // Runtime is an intelligent reduction runtime.
 type Runtime struct {
 	sel *selector.Selector
+	// useEngine enables the deterministic chunked parallel engine for
+	// Sum and HierarchicalSum on inputs spanning at least two chunks.
+	useEngine bool
+	// par configures the engine (zero fields mean auto).
+	par parallel.Config
 }
 
 // Option configures a Runtime.
@@ -33,6 +40,31 @@ type Option func(*Runtime)
 // selector.CalibratedPolicy instead of the analytic default).
 func WithPolicy(p selector.Policy) Option {
 	return func(rt *Runtime) { rt.sel.Policy = p }
+}
+
+// WithWorkers routes large reductions through the deterministic chunked
+// parallel engine with the given pool size (0 selects GOMAXPROCS). The
+// engine's results are bitwise-identical across worker counts — the
+// chunk plan, not the scheduling, determines the bits — but for
+// order-sensitive algorithms they differ (deterministically) from the
+// engine-less streaming path, so enabling the engine is a new, equally
+// reproducible, summation plan rather than a transparent accelerator.
+func WithWorkers(n int) Option {
+	return func(rt *Runtime) {
+		rt.useEngine = true
+		rt.par.Workers = n
+	}
+}
+
+// WithChunkSize sets the engine's fixed partition width in elements
+// (0 selects parallel.DefaultChunkSize) and enables the engine. The
+// chunk size is part of the reproducibility contract: two runtimes agree
+// bitwise only if they use the same chunk size.
+func WithChunkSize(c int) Option {
+	return func(rt *Runtime) {
+		rt.useEngine = true
+		rt.par.ChunkSize = c
+	}
 }
 
 // New returns a Runtime that keeps the relative run-to-run variability
@@ -61,10 +93,21 @@ type Report struct {
 	// PRConfig is set when the prerounded operator was chosen: the
 	// tolerance-tuned bin configuration (selector.TunePR).
 	PRConfig *sum.PRConfig
+	// NonFinite is set when the profile was poisoned by NaN/±Inf inputs
+	// and the runtime fell back to the standard iterative sum — the one
+	// operator whose result follows IEEE non-finite propagation exactly
+	// (compensated corrections manufacture NaN out of Inf−Inf, and PR's
+	// binning is undefined on non-finite operands). No variability
+	// contract applies to such data.
+	NonFinite bool
 }
 
 // String summarizes the report.
 func (r Report) String() string {
+	if r.NonFinite {
+		return fmt.Sprintf("chose %s (%s) for %v (non-finite input; no variability contract)",
+			r.Algorithm, r.Algorithm.FullName(), r.Profile)
+	}
 	return fmt.Sprintf("chose %s (%s) for %v (predicted variability %.3g)",
 		r.Algorithm, r.Algorithm.FullName(), r.Profile, r.Predicted)
 }
@@ -73,8 +116,19 @@ func (r Report) String() string {
 // When the prerounded operator is selected its fold budget is tuned to
 // the tolerance (selector.TunePR) — the paper's precision-tuning idea
 // applied to the one algorithm with a precision knob.
+//
+// With the engine enabled (WithWorkers/WithChunkSize) and an input
+// spanning at least two chunks, both the profiling pass and the sum run
+// on the deterministic chunked worker pool; the result is bitwise-stable
+// across worker counts.
 func (rt *Runtime) Sum(xs []float64) (float64, Report) {
+	if rt.engineFor(len(xs)) {
+		return rt.sumParallel(xs)
+	}
 	prof := selector.ProfileOf(xs)
+	if prof.NonFinite {
+		return rt.nonFiniteSum(xs, prof)
+	}
 	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
 	rep := Report{Algorithm: alg, Profile: prof, Predicted: pred}
 	if alg == sum.PreroundedAlg {
@@ -85,11 +139,60 @@ func (rt *Runtime) Sum(xs []float64) (float64, Report) {
 	return alg.Sum(xs), rep
 }
 
+// engineFor reports whether the parallel engine should run a reduction
+// of n values: it must be enabled and the input must span at least two
+// chunks (below that the plan degenerates to the sequential pass).
+func (rt *Runtime) engineFor(n int) bool {
+	if !rt.useEngine {
+		return false
+	}
+	cs := rt.par.ChunkSize
+	if cs <= 0 {
+		cs = parallel.DefaultChunkSize
+	}
+	return n > cs
+}
+
+// sumParallel is Sum on the chunked engine.
+func (rt *Runtime) sumParallel(xs []float64) (float64, Report) {
+	prof := selector.ProfileOfParallel(xs, rt.par)
+	if prof.NonFinite {
+		return rt.nonFiniteSum(xs, prof)
+	}
+	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
+	rep := Report{Algorithm: alg, Profile: prof, Predicted: pred}
+	if alg == sum.PreroundedAlg {
+		cfg := selector.TunePR(prof, rt.sel.Req)
+		rep.PRConfig = &cfg
+		return parallel.SumPR(cfg, xs, rt.par), rep
+	}
+	return parallel.Sum(alg, xs, rt.par), rep
+}
+
+// nonFiniteSum is the fallback for NaN/±Inf-poisoned inputs: the
+// standard iterative sum, whose non-finite propagation follows IEEE
+// semantics exactly. The condition is recorded in the report.
+func (rt *Runtime) nonFiniteSum(xs []float64, prof selector.Profile) (float64, Report) {
+	rep := Report{
+		Algorithm: sum.StandardAlg,
+		Profile:   prof,
+		Predicted: math.Inf(1),
+		NonFinite: true,
+	}
+	return sum.Standard(xs), rep
+}
+
 // Reduce profiles xs and reduces it under the given tree plan with the
 // selected algorithm — the paper's scenario where the tree is imposed
-// by the system, not the algorithm.
+// by the system, not the algorithm. NaN/±Inf-poisoned inputs fall back
+// to the standard operator (see Report.NonFinite).
 func (rt *Runtime) Reduce(p tree.Plan, xs []float64) (float64, Report) {
 	prof := selector.ProfileOf(xs)
+	if prof.NonFinite {
+		v := selector.ReduceTreeWith(sum.StandardAlg, p, xs)
+		return v, Report{Algorithm: sum.StandardAlg, Profile: prof,
+			Predicted: math.Inf(1), NonFinite: true}
+	}
 	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
 	v := selector.ReduceTreeWith(alg, p, xs)
 	return v, Report{Algorithm: alg, Profile: prof, Predicted: pred}
@@ -116,6 +219,12 @@ type BlockReport struct {
 // per-block tolerance by the ratio of global to block condition
 // numbers; use Sum (whole-set profiling) when the contract must hold
 // for the global result.
+//
+// With the engine enabled, blocks are profiled and summed concurrently
+// on the worker pool. Each block's result is a pure function of the
+// block's elements and the partials are folded in block order with the
+// prerounded operator, so the global result is bitwise-identical to the
+// sequential run regardless of worker count.
 func (rt *Runtime) HierarchicalSum(xs []float64, blockSize int) (float64, []BlockReport) {
 	if blockSize <= 0 {
 		blockSize = 4096
@@ -124,20 +233,29 @@ func (rt *Runtime) HierarchicalSum(xs []float64, blockSize int) (float64, []Bloc
 	if n == 0 {
 		return 0, nil
 	}
-	var reports []BlockReport
-	// Block partials are folded with PR so the final combination is
-	// insensitive to block order (e.g. if blocks completed on different
-	// ranks at different times).
-	acc := sum.NewPreroundedAcc(sum.DefaultPRConfig())
-	for lo := 0; lo < n; lo += blockSize {
+	nb := (n + blockSize - 1) / blockSize
+	workers := 1
+	if rt.useEngine {
+		workers = rt.par.Workers // 0 selects GOMAXPROCS inside For
+	}
+	vals := make([]float64, nb)
+	reports := make([]BlockReport, nb)
+	parallel.For(nb, workers, func(i int) {
+		lo := i * blockSize
 		hi := lo + blockSize
 		if hi > n {
 			hi = n
 		}
-		block := xs[lo:hi]
-		v, rep := rt.Sum(block)
+		v, rep := rt.Sum(xs[lo:hi])
+		vals[i] = v
+		reports[i] = BlockReport{Start: lo, End: hi, Report: rep}
+	})
+	// Block partials are folded with PR so the final combination is
+	// insensitive to block order (e.g. if blocks completed on different
+	// ranks at different times); the fold runs in block order anyway.
+	acc := sum.NewPreroundedAcc(sum.DefaultPRConfig())
+	for _, v := range vals {
 		acc.Add(v)
-		reports = append(reports, BlockReport{Start: lo, End: hi, Report: rep})
 	}
 	return acc.Sum(), reports
 }

@@ -182,3 +182,57 @@ func TestRuntimeTunesPRConfig(t *testing.T) {
 		t.Errorf("%v selection carries a PR config", rep2.Algorithm)
 	}
 }
+
+func TestRuntimeSumNonFiniteFallback(t *testing.T) {
+	rt := New(1e-9)
+	// NaN input: the result is NaN and the report flags the condition.
+	xs := []float64{1, 2, math.NaN(), 4}
+	v, rep := rt.Sum(xs)
+	if !math.IsNaN(v) {
+		t.Errorf("NaN input summed to %g", v)
+	}
+	if !rep.NonFinite {
+		t.Error("report did not flag non-finite input")
+	}
+	if rep.Algorithm != sum.StandardAlg {
+		t.Errorf("fallback chose %v, want ST (IEEE propagation)", rep.Algorithm)
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+
+	// +Inf input: IEEE propagation demands +Inf, not the NaN a
+	// compensated correction would manufacture out of Inf-Inf.
+	ys := []float64{1, math.Inf(1), 2}
+	v2, rep2 := rt.Sum(ys)
+	if !math.IsInf(v2, 1) {
+		t.Errorf("+Inf input summed to %g, want +Inf", v2)
+	}
+	if !rep2.NonFinite || rep2.PRConfig != nil {
+		t.Errorf("bad +Inf report: %+v", rep2)
+	}
+
+	// A bitwise-tolerance runtime must take the same fallback rather
+	// than feeding non-finite operands into PR's binning.
+	v3, rep3 := New(0).Sum(ys)
+	if !math.IsInf(v3, 1) || rep3.Algorithm != sum.StandardAlg {
+		t.Errorf("t=0 runtime: %g via %v", v3, rep3.Algorithm)
+	}
+}
+
+func TestRuntimeReduceNonFiniteFallback(t *testing.T) {
+	rt := New(0)
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 1
+	}
+	xs[17] = math.Inf(-1)
+	r := fpu.NewRNG(9)
+	v, rep := rt.Reduce(tree.NewPlan(tree.Random, len(xs), r), xs)
+	if !math.IsInf(v, -1) {
+		t.Errorf("reduce of -Inf data = %g", v)
+	}
+	if !rep.NonFinite || rep.Algorithm != sum.StandardAlg {
+		t.Errorf("bad report: %+v", rep)
+	}
+}

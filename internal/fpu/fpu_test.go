@@ -344,3 +344,38 @@ func TestRNGBoolBalance(t *testing.T) {
 		t.Errorf("Bool imbalance: %d/10000", trues)
 	}
 }
+
+func TestMixSeedDistinctStreams(t *testing.T) {
+	// Stream 0 must not return the base seed (the bug in seed^i*constant
+	// mixing), and distinct (seed, stream) pairs must yield distinct
+	// values across a dense probe.
+	seen := map[uint64]bool{}
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		if MixSeed(seed, 0) == seed {
+			t.Errorf("MixSeed(%#x, 0) returned the unmixed seed", seed)
+		}
+		for stream := uint64(0); stream < 4096; stream++ {
+			v := MixSeed(seed, stream)
+			if seen[v] {
+				t.Fatalf("MixSeed collision at seed=%#x stream=%d", seed, stream)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMixSeedStreamsUncorrelated(t *testing.T) {
+	// RNGs seeded from adjacent streams must not emit overlapping output
+	// sequences (shifted-copy streams are the classic splitmix misuse).
+	seen := map[uint64]uint64{}
+	for stream := uint64(0); stream < 64; stream++ {
+		r := NewRNG(MixSeed(99, stream))
+		for j := 0; j < 256; j++ {
+			v := r.Uint64()
+			if other, dup := seen[v]; dup {
+				t.Fatalf("streams %d and %d share output %#x", other, stream, v)
+			}
+			seen[v] = stream
+		}
+	}
+}

@@ -13,6 +13,20 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// MixSeed derives the seed of an independent RNG stream from a base
+// seed and a stream index, pushing both through the full splitmix64
+// finalizer. Use it wherever per-cell / per-algorithm / per-worker
+// streams are split off one experiment seed: plain arithmetic like
+// seed^i*constant leaves stream 0 unmixed (it returns the base seed
+// verbatim) and correlates nearby streams, which is exactly how seeded
+// sweeps end up sharing data between cells.
+func MixSeed(seed, stream uint64) uint64 {
+	z := seed + (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/bigref"
@@ -131,11 +132,27 @@ func Sweep(cells []CellSpec, cfg Config) []CellResult {
 		go func(i int, cell CellSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = EvalCell(cell, cfg, cfg.Seed^uint64(i)*0x9e3779b97f4a7c15)
+			out[i] = EvalCell(cell, cfg, cellSeed(cfg.Seed, i))
 		}(i, cell)
 	}
 	wg.Wait()
 	return out
+}
+
+// cellSeed derives cell i's generation seed from the sweep seed. The
+// full splitmix mix guarantees distinct streams per cell; the previous
+// seed^i*constant arithmetic left cell 0 with the raw sweep seed and
+// correlated neighboring cells.
+func cellSeed(sweepSeed uint64, i int) uint64 {
+	return fpu.MixSeed(sweepSeed, uint64(i))
+}
+
+// algSeed derives the tree-sampling RNG seed for one algorithm within a
+// cell. The stream index is offset into its own domain so per-algorithm
+// streams can never collide with per-cell streams split off the same
+// base seed.
+func algSeed(cellSeed uint64, alg sum.Algorithm) uint64 {
+	return fpu.MixSeed(cellSeed, 0xa15<<32|uint64(alg))
 }
 
 // EvalCell generates the cell's operand set and measures per-algorithm
@@ -159,7 +176,7 @@ func EvalCell(cell CellSpec, cfg Config, seed uint64) CellResult {
 		Distinct:   make(map[sum.Algorithm]int, len(cfg.Algorithms)),
 	}
 	for _, alg := range cfg.Algorithms {
-		rng := fpu.NewRNG(seed ^ uint64(alg+1)*0xD1B54A32D192ED03)
+		rng := fpu.NewRNG(algSeed(seed, alg))
 		sums := AlgSpread(alg, cfg.Shape, xs, cfg.Trials, rng)
 		st := metrics.ErrorStats(sums, ref)
 		res.StdDev[alg] = st.StdDev
@@ -198,19 +215,29 @@ func AlgSpread(alg sum.Algorithm, shape tree.Shape, xs []float64, trials int, rn
 
 // CheapestAcceptable returns the cheapest algorithm (by CostRank) whose
 // relative error standard deviation in res is at or below threshold —
-// the Fig 12 classification. ok is false when none qualifies.
+// the Fig 12 classification. Candidates are visited in deterministic
+// (CostRank, algorithm id) order, never by ranging over the map, so a
+// tie between equal-cost algorithms always resolves to the lowest id
+// instead of flipping with Go's randomized map iteration. ok is false
+// when none qualifies.
 func CheapestAcceptable(res CellResult, threshold float64) (alg sum.Algorithm, ok bool) {
-	best := sum.Algorithm(0)
-	found := false
-	for a, sd := range res.RelStdDev {
-		if sd > threshold || math.IsNaN(sd) {
-			continue
+	algs := make([]sum.Algorithm, 0, len(res.RelStdDev))
+	for a := range res.RelStdDev {
+		algs = append(algs, a)
+	}
+	sort.Slice(algs, func(i, j int) bool {
+		ri, rj := algs[i].CostRank(), algs[j].CostRank()
+		if ri != rj {
+			return ri < rj
 		}
-		if !found || a.CostRank() < best.CostRank() {
-			best, found = a, true
+		return algs[i] < algs[j]
+	})
+	for _, a := range algs {
+		if sd := res.RelStdDev[a]; sd <= threshold && !math.IsNaN(sd) {
+			return a, true
 		}
 	}
-	return best, found
+	return 0, false
 }
 
 // Classify maps every cell to its cheapest acceptable algorithm for each

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/fpu"
 	"repro/internal/sum"
 	"repro/internal/tree"
 )
@@ -125,6 +126,79 @@ func TestCheapestAcceptable(t *testing.T) {
 	none := CellResult{RelStdDev: map[sum.Algorithm]float64{sum.StandardAlg: 1}}
 	if _, ok := CheapestAcceptable(none, 1e-20); ok {
 		t.Error("nothing should qualify")
+	}
+}
+
+func TestSeedStreamsDistinct(t *testing.T) {
+	// Regression for the old seed^i*constant mixing: cell 0 received the
+	// raw sweep seed and neighboring cells got correlated streams. Every
+	// cell and every per-algorithm tree-sampling stream must be distinct,
+	// and no cell may leak the unmixed base seed.
+	for _, base := range []uint64{0, 1, 5, 0x9e3779b97f4a7c15} {
+		seen := map[uint64]int{}
+		for i := 0; i < 1000; i++ {
+			s := cellSeed(base, i)
+			if s == base {
+				t.Errorf("seed %#x: cell %d got the unmixed sweep seed", base, i)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed %#x: cells %d and %d share stream %#x", base, prev, i, s)
+			}
+			seen[s] = i
+		}
+		// Per-algorithm streams live in their own domain: distinct from
+		// each other and from every cell stream of the same base.
+		for _, alg := range sum.Algorithms {
+			s := algSeed(base, alg)
+			if s == base {
+				t.Errorf("seed %#x: alg %v got the unmixed cell seed", base, alg)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed %#x: alg %v collides with cell %d", base, alg, prev)
+			}
+			seen[s] = -1 - int(alg)
+		}
+	}
+}
+
+func TestAlgStreamsProduceDistinctTrees(t *testing.T) {
+	// The per-algorithm RNGs must be independent streams, not shifted
+	// copies: their leading outputs share no values.
+	seen := map[uint64]sum.Algorithm{}
+	for _, alg := range sum.Algorithms {
+		rng := fpu.NewRNG(algSeed(7, alg))
+		for j := 0; j < 64; j++ {
+			v := rng.Uint64()
+			if other, dup := seen[v]; dup {
+				t.Fatalf("algs %v and %v share RNG output %#x", other, alg, v)
+			}
+			seen[v] = alg
+		}
+	}
+}
+
+func TestCheapestAcceptableDeterministicOrder(t *testing.T) {
+	// All six registered algorithms qualify; the choice must be the
+	// cheapest by CostRank (ties broken by id) on every call, immune to
+	// Go's randomized map iteration order.
+	res := CellResult{RelStdDev: map[sum.Algorithm]float64{}}
+	for _, alg := range sum.Algorithms {
+		res.RelStdDev[alg] = 0
+	}
+	for trial := 0; trial < 500; trial++ {
+		alg, ok := CheapestAcceptable(res, 1e-9)
+		if !ok || alg != sum.StandardAlg {
+			t.Fatalf("trial %d: got %v ok=%v, want ST", trial, alg, ok)
+		}
+	}
+	// Drop the two cheapest: the next by cost order must win, stably.
+	res.RelStdDev[sum.StandardAlg] = 1
+	res.RelStdDev[sum.PairwiseAlg] = math.NaN()
+	for trial := 0; trial < 500; trial++ {
+		alg, ok := CheapestAcceptable(res, 1e-9)
+		if !ok || alg != sum.KahanAlg {
+			t.Fatalf("trial %d: got %v ok=%v, want K", trial, alg, ok)
+		}
 	}
 }
 

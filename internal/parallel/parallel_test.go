@@ -1,0 +1,214 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/reduce"
+	"repro/internal/sum"
+	"repro/internal/superacc"
+)
+
+// adversarialSets spans the hostile corners of the generator's parameter
+// space: benign same-sign data, exact cancellation, near-total
+// cancellation at wide dynamic range, and odd/non-chunk-aligned lengths.
+func adversarialSets() map[string][]float64 {
+	sets := map[string][]float64{
+		"benign":      gen.Spec{N: 5000, Cond: 1, DynRange: 8, Seed: 1}.Generate(),
+		"sumzero":     gen.Spec{N: 4096, Cond: math.Inf(1), DynRange: 32, Seed: 2}.Generate(),
+		"illcond":     gen.Spec{N: 4097, Cond: 1e8, DynRange: 24, Seed: 3}.Generate(),
+		"widerange":   gen.Spec{N: 2000, Cond: 1e4, DynRange: 40, Seed: 4}.Generate(),
+		"nbodyforces": gen.NBodyForces(3000, 5),
+		"tiny":        {1.0, 0x1p-40},
+		"single":      {3.25},
+	}
+	return sets
+}
+
+func bits(v float64) uint64 { return math.Float64bits(v) }
+
+func TestSumBitwiseAcrossWorkerCounts(t *testing.T) {
+	// The acceptance property of the engine: for every registered
+	// algorithm, every worker count 1..8, and every adversarial input,
+	// the parallel result is bitwise-identical to the single-threaded
+	// execution of the same plan.
+	cfg := Config{ChunkSize: 256} // force many chunks even on small sets
+	for name, xs := range adversarialSets() {
+		for _, alg := range sum.Algorithms {
+			cfg.Workers = 1
+			ref := SeqSum(alg, xs, Config{ChunkSize: cfg.ChunkSize})
+			for w := 1; w <= 8; w++ {
+				cfg.Workers = w
+				if got := Sum(alg, xs, cfg); bits(got) != bits(ref) {
+					t.Errorf("%s/%v: %d workers gave %x, sequential plan gave %x",
+						name, alg, w, bits(got), bits(ref))
+				}
+			}
+		}
+	}
+}
+
+func TestSumMatchesSequentialMonoidFold(t *testing.T) {
+	// Sum's native chunk kernels (streaming accumulators) must be
+	// bitwise-equivalent to folding the same chunks through the
+	// algorithm's monoid — the contract that lets SeqReduce serve as the
+	// engine's oracle.
+	cfg := Config{ChunkSize: 512, Workers: 4}
+	for name, xs := range adversarialSets() {
+		check := func(alg sum.Algorithm, ref float64) {
+			if got := Sum(alg, xs, cfg); bits(got) != bits(ref) {
+				t.Errorf("%s/%v: engine %x, monoid fold %x", name, alg, bits(got), bits(ref))
+			}
+		}
+		check(sum.StandardAlg, SeqReduce(sum.STMonoid{}, xs, cfg))
+		check(sum.KahanAlg, SeqReduce(sum.KahanMonoid{}, xs, cfg))
+		check(sum.NeumaierAlg, SeqReduce(sum.NeumaierMonoid{}, xs, cfg))
+		check(sum.CompositeAlg, SeqReduce(sum.CPMonoid{}, xs, cfg))
+		check(sum.PreroundedAlg, SeqReduce(sum.DefaultPRConfig().Monoid(), xs, cfg))
+	}
+}
+
+func TestPRInvariantToChunkPlan(t *testing.T) {
+	// Only the prerounded operator promises invariance to the plan
+	// itself (its merge is exactly associative and commutative): any
+	// chunk size must give the same bits as the one-shot sum.
+	for name, xs := range adversarialSets() {
+		ref := sum.Prerounded(xs)
+		for _, cs := range []int{1, 3, 100, 1 << 15} {
+			got := Sum(sum.PreroundedAlg, xs, Config{ChunkSize: cs, Workers: 3})
+			if bits(got) != bits(ref) {
+				t.Errorf("%s: PR with chunk %d gave %x, one-shot %x", name, cs, bits(got), bits(ref))
+			}
+		}
+	}
+}
+
+func TestExactSumShardedOracle(t *testing.T) {
+	// Sharded superaccumulators merged exactly must reproduce the
+	// one-shot exact sum bit-for-bit under every plan and worker count.
+	sets := adversarialSets()
+	sets["subnormals"] = []float64{0x1p-1074, 0x1p-1070, -0x1p-1074, 0x1p-1022}
+	sets["hugecancel"] = []float64{0x1p900, -0x1p900, 0x1p-900, 1, -1, 0x1.5p-901}
+	for name, xs := range sets {
+		ref := superacc.Sum(xs)
+		for _, cs := range []int{1, 7, 1000} {
+			for w := 1; w <= 8; w += 2 {
+				got := ExactSum(xs, Config{ChunkSize: cs, Workers: w})
+				if bits(got) != bits(ref) {
+					t.Errorf("%s: sharded exact (chunk %d, %d workers) %x, oracle %x",
+						name, cs, w, bits(got), bits(ref))
+				}
+			}
+		}
+	}
+}
+
+func TestReduceEmptyAndEdgeInputs(t *testing.T) {
+	for _, alg := range sum.Algorithms {
+		if got := Sum(alg, nil, Config{}); got != 0 {
+			t.Errorf("%v: empty sum = %g", alg, got)
+		}
+		if got := Sum(alg, []float64{42.5}, Config{Workers: 8}); got != 42.5 {
+			t.Errorf("%v: singleton sum = %g", alg, got)
+		}
+	}
+	if got := ExactSum(nil, Config{}); got != 0 {
+		t.Errorf("empty exact sum = %g", got)
+	}
+	if got := Reduce(sum.STMonoid{}, nil, Config{}); got != 0 {
+		t.Errorf("empty Reduce = %g", got)
+	}
+}
+
+func TestMergeTreeFixedPairing(t *testing.T) {
+	// The tree pairing must be a pure function of the leaf count:
+	// adjacent pairs level by level, odd tail carried up unmerged.
+	leaves := []string{"a", "b", "c", "d", "e"}
+	got := MergeTree(leaves, func(a, b string) string { return "(" + a + " " + b + ")" })
+	if want := "(((a b) (c d)) e)"; got != want {
+		t.Errorf("pairing = %s, want %s", got, want)
+	}
+	if one := MergeTree([]string{"x"}, func(a, b string) string { return a + b }); one != "x" {
+		t.Errorf("single-leaf tree = %s", one)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty MergeTree did not panic")
+		}
+	}()
+	MergeTree(nil, func(a, b string) string { return a + b })
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		const n = 257
+		counts := make([]int32, n)
+		For(n, workers, func(i int) { counts[i]++ })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+	For(0, 4, func(i int) { t.Error("For(0) ran an iteration") })
+}
+
+func TestNumChunks(t *testing.T) {
+	cfg := Config{ChunkSize: 100}
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {99, 1}, {100, 1}, {101, 2}, {1000, 10}, {1001, 11},
+	} {
+		if got := cfg.NumChunks(tc.n); got != tc.want {
+			t.Errorf("NumChunks(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestReduceGenericAcrossWorkers(t *testing.T) {
+	// Reduce/SeqReduce (the generic monoid entry points) obey the same
+	// worker-count invariance as the algorithm dispatcher.
+	xs := gen.SumZeroSeries(3000, 32, 11)
+	run := func(m interface{}, w int) float64 {
+		switch mm := m.(type) {
+		case reduce.Monoid[float64]:
+			return Reduce(mm, xs, Config{ChunkSize: 128, Workers: w})
+		case reduce.Monoid[sum.KState]:
+			return Reduce(mm, xs, Config{ChunkSize: 128, Workers: w})
+		}
+		panic("unhandled monoid")
+	}
+	for _, m := range []interface{}{reduce.Monoid[float64](sum.STMonoid{}), reduce.Monoid[sum.KState](sum.KahanMonoid{})} {
+		ref := run(m, 1)
+		for w := 2; w <= 8; w++ {
+			if got := run(m, w); bits(got) != bits(ref) {
+				t.Errorf("%T: workers=%d gave %x, workers=1 gave %x", m, w, bits(got), bits(ref))
+			}
+		}
+	}
+}
+
+func TestWorkerCountDoesNotChangeChunkPlan(t *testing.T) {
+	// Sanity on the plan itself: chunk results land at fixed indices, so
+	// a permutation-sensitive merge (string concat) still produces the
+	// same output at any worker count.
+	const n = 1001
+	cfg := Config{ChunkSize: 37}
+	build := func(w int) string {
+		cfg.Workers = w
+		s, ok := MapReduce(n, cfg,
+			func(lo, hi int) string { return fmt.Sprintf("[%d:%d]", lo, hi) },
+			func(a, b string) string { return a + b })
+		if !ok {
+			t.Fatal("MapReduce returned !ok")
+		}
+		return s
+	}
+	ref := build(1)
+	for w := 2; w <= 8; w++ {
+		if got := build(w); got != ref {
+			t.Fatalf("workers=%d plan %q != workers=1 plan %q", w, got, ref)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/dd"
 	"repro/internal/fpu"
+	"repro/internal/parallel"
 	"repro/internal/reduce"
 )
 
@@ -39,12 +40,23 @@ type Profile struct {
 	HasNonzero     bool
 	// Pos, Neg count strictly positive and negative values.
 	Pos, Neg int64
+	// NonFinite is the poison flag (mirroring superacc.Acc): a NaN or
+	// ±Inf was profiled. Such values never enter Sum/SumAbs or the
+	// exponent extremes — they would silently corrupt the dd arithmetic —
+	// and Merge propagates the flag, so a poisoned shard poisons the
+	// global profile. Cond reports +Inf for poisoned profiles.
+	NonFinite bool
 }
 
 // Cond estimates the sum condition number k = sum|x| / |sum x| from the
 // profile. All-zero or empty profiles return 1; profiles whose sum
-// cancels below composite-precision resolution return +Inf.
+// cancels below composite-precision resolution, and profiles poisoned by
+// non-finite values, return +Inf (the worst-conditioned answer — the
+// selector cannot promise any finite variability for such data).
 func (p Profile) Cond() float64 {
+	if p.NonFinite {
+		return math.Inf(1)
+	}
 	abs := p.SumAbs.Float64()
 	if abs == 0 {
 		return 1
@@ -69,6 +81,9 @@ func (p Profile) SameSign() bool { return p.Pos == 0 || p.Neg == 0 }
 
 // String renders the profile's headline numbers.
 func (p Profile) String() string {
+	if p.NonFinite {
+		return fmt.Sprintf("profile{n=%d non-finite}", p.N)
+	}
 	return fmt.Sprintf("profile{n=%d k=%.3g dr=%d sameSign=%v}",
 		p.N, p.Cond(), p.DynRange(), p.SameSign())
 }
@@ -77,11 +92,12 @@ func (p Profile) String() string {
 // two value sets.
 func (p Profile) Merge(q Profile) Profile {
 	out := Profile{
-		N:      p.N + q.N,
-		Sum:    p.Sum.Add(q.Sum),
-		SumAbs: p.SumAbs.Add(q.SumAbs),
-		Pos:    p.Pos + q.Pos,
-		Neg:    p.Neg + q.Neg,
+		N:         p.N + q.N,
+		Sum:       p.Sum.Add(q.Sum),
+		SumAbs:    p.SumAbs.Add(q.SumAbs),
+		Pos:       p.Pos + q.Pos,
+		Neg:       p.Neg + q.Neg,
+		NonFinite: p.NonFinite || q.NonFinite,
 	}
 	switch {
 	case p.HasNonzero && q.HasNonzero:
@@ -96,10 +112,16 @@ func (p Profile) Merge(q Profile) Profile {
 	return out
 }
 
-// Add folds one value into the profile.
+// Add folds one value into the profile. Non-finite values count toward N
+// and set the NonFinite poison flag instead of entering the running
+// sums, which would silently turn Cond into garbage.
 func (p Profile) Add(x float64) Profile {
 	p.N++
 	if x == 0 {
+		return p
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		p.NonFinite = true
 		return p
 	}
 	p.Sum = p.Sum.AddFloat64(x)
@@ -129,6 +151,24 @@ func ProfileOf(xs []float64) Profile {
 	var p Profile
 	for _, x := range xs {
 		p = p.Add(x)
+	}
+	return p
+}
+
+// ProfileOfParallel profiles xs on the parallel engine: fixed chunks are
+// profiled independently (each with the same streaming pass ProfileOf
+// uses) and combined with Profile.Merge over the engine's fixed balanced
+// tree. The result is bitwise-identical across worker counts. It is not
+// guaranteed bit-identical to the single-pass ProfileOf — the composite-
+// precision Sum/SumAbs fields can differ below ~2^-104 relative — but
+// every derived quantity (Cond, DynRange, SameSign, counts) agrees at
+// the resolution selection depends on.
+func ProfileOfParallel(xs []float64, cfg parallel.Config) Profile {
+	p, ok := parallel.MapReduce(len(xs), cfg,
+		func(lo, hi int) Profile { return ProfileOf(xs[lo:hi]) },
+		Profile.Merge)
+	if !ok {
+		return Profile{}
 	}
 	return p
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/mpirt"
+	"repro/internal/parallel"
 	"repro/internal/sum"
 	"repro/internal/tree"
 )
@@ -303,5 +304,90 @@ func TestReduceTreeWithAllAlgorithms(t *testing.T) {
 		if got := ReduceTreeWith(alg, p, xs); got != 15 {
 			t.Errorf("%v tree reduce = %g", alg, got)
 		}
+	}
+}
+
+func TestProfileNonFinitePoison(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		var p Profile
+		p = p.Add(1.5)
+		p = p.Add(bad)
+		p = p.Add(-2.25)
+		if !p.NonFinite {
+			t.Errorf("Add(%v) did not poison the profile", bad)
+		}
+		if p.N != 3 {
+			t.Errorf("poisoned profile lost the count: N=%d", p.N)
+		}
+		if !math.IsInf(p.Cond(), 1) {
+			t.Errorf("poisoned Cond() = %g, want +Inf", p.Cond())
+		}
+		if p.Sum.IsNaN() || p.SumAbs.IsNaN() {
+			t.Errorf("non-finite value leaked into the dd sums: %v / %v", p.Sum, p.SumAbs)
+		}
+	}
+}
+
+func TestProfileNonFiniteMergePropagates(t *testing.T) {
+	clean := ProfileOf([]float64{1, 2, 3})
+	var dirty Profile
+	dirty = dirty.Add(math.NaN())
+	for _, merged := range []Profile{clean.Merge(dirty), dirty.Merge(clean)} {
+		if !merged.NonFinite {
+			t.Error("Merge dropped the poison flag")
+		}
+		if !math.IsInf(merged.Cond(), 1) {
+			t.Errorf("merged poisoned Cond() = %g", merged.Cond())
+		}
+	}
+	if clean.Merge(clean).NonFinite {
+		t.Error("clean merge spuriously poisoned")
+	}
+}
+
+func TestProfileOfDetectsNonFinite(t *testing.T) {
+	p := ProfileOf([]float64{1, math.Inf(-1), 2})
+	if !p.NonFinite {
+		t.Fatal("ProfileOf missed an infinity")
+	}
+	if s := p.String(); s == "" {
+		t.Error("empty poisoned String")
+	}
+}
+
+func TestProfileOfParallelWorkerStability(t *testing.T) {
+	xs := gen.Spec{N: 50000, Cond: 1e6, DynRange: 24, Seed: 9}.Generate()
+	cfg := parallel.Config{ChunkSize: 1 << 10, Workers: 1}
+	ref := ProfileOfParallel(xs, cfg)
+	for w := 2; w <= 8; w++ {
+		cfg.Workers = w
+		p := ProfileOfParallel(xs, cfg)
+		if p != ref {
+			t.Errorf("workers=%d profile %+v != workers=1 profile %+v", w, p, ref)
+		}
+	}
+	// The chunked profile must agree with the single-pass profile on the
+	// exactly-representable fields (the dd sums may differ in the last
+	// few bits of the tail; the headline condition number must agree to
+	// rounding).
+	single := ProfileOf(xs)
+	if ref.N != single.N || ref.Pos != single.Pos || ref.Neg != single.Neg ||
+		ref.MinExp != single.MinExp || ref.MaxExp != single.MaxExp {
+		t.Errorf("chunked profile counts diverge: %+v vs %+v", ref, single)
+	}
+	if k1, k2 := ref.Cond(), single.Cond(); math.Abs(k1-k2) > 1e-9*k2 {
+		t.Errorf("chunked Cond %g vs single-pass %g", k1, k2)
+	}
+}
+
+func TestProfileOfParallelNonFinite(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = 1
+	}
+	xs[7777] = math.Inf(-1)
+	p := ProfileOfParallel(xs, parallel.Config{ChunkSize: 512, Workers: 4})
+	if !p.NonFinite || !math.IsInf(p.Cond(), 1) {
+		t.Errorf("parallel profile missed non-finite poison: %+v", p)
 	}
 }

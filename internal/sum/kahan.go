@@ -34,6 +34,11 @@ func (a *KahanAcc) Sum() float64 { return a.s }
 // Reset restores the accumulator to zero.
 func (a *KahanAcc) Reset() { *a = KahanAcc{} }
 
+// State exposes the (sum, correction) pair for tree merging. Streaming
+// accumulation is bitwise-identical to folding the same values through
+// KahanMonoid, so the state can seed a merge tree directly.
+func (a *KahanAcc) State() KState { return KState{S: a.s, C: a.c} }
+
 // KState is the partial-reduction state of the Kahan tree operator:
 // the partial sum s and the pending correction c (to be subtracted).
 type KState struct{ S, C float64 }

@@ -40,6 +40,12 @@ func (a *NeumaierAcc) Sum() float64 { return a.s + a.c }
 // Reset restores the accumulator to zero.
 func (a *NeumaierAcc) Reset() { *a = NeumaierAcc{} }
 
+// State exposes the (sum, correction) pair for tree merging. The
+// branched correction of Add captures the same exact residual as the
+// branch-free TwoSum in Merge, so streaming accumulation is
+// bitwise-identical to folding the same values through NeumaierMonoid.
+func (a *NeumaierAcc) State() NState { return NState{S: a.s, C: a.c} }
+
 // NState is the partial state of the Neumaier tree operator.
 type NState struct{ S, C float64 }
 

@@ -14,7 +14,10 @@
 //   - data profiling (n, condition number, dynamic range) and the
 //     intelligent runtime that picks the cheapest algorithm meeting an
 //     application-specified reproducibility tolerance (New, Runtime);
-//   - an exact superaccumulator oracle (ExactSum) for validation.
+//   - an exact superaccumulator oracle (ExactSum) for validation;
+//   - a deterministic chunked parallel engine (ParallelSum,
+//     ParallelExactSum, New with WithWorkers) whose results are
+//     bitwise-identical across worker counts.
 //
 // Quick start:
 //
@@ -26,6 +29,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/selector"
 	"repro/internal/sum"
 	"repro/internal/superacc"
@@ -62,9 +66,23 @@ type Report = core.Report
 // Profile summarizes the runtime-estimable properties of a value set.
 type Profile = selector.Profile
 
+// Option configures a Runtime (see WithWorkers, WithChunkSize).
+type Option = core.Option
+
+// WithWorkers routes large reductions through the deterministic chunked
+// parallel engine with the given pool size (0 selects GOMAXPROCS).
+// Engine results are bitwise-identical across worker counts.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithChunkSize sets the engine's fixed partition width in elements and
+// enables the engine (0 keeps the default width). The chunk size is part
+// of the reproducibility contract: two runtimes agree bitwise only if
+// they use the same chunk size.
+func WithChunkSize(c int) Option { return core.WithChunkSize(c) }
+
 // New returns a Runtime that keeps the relative run-to-run variability
 // of its reductions within tolerance; 0 demands bitwise reproducibility.
-func New(tolerance float64) *Runtime { return core.New(tolerance) }
+func New(tolerance float64, opts ...Option) *Runtime { return core.New(tolerance, opts...) }
 
 // Sum computes the sum of xs with the given algorithm.
 func Sum(alg Algorithm, xs []float64) float64 { return alg.Sum(xs) }
@@ -76,6 +94,24 @@ func Dot(alg Algorithm, a, b []float64) float64 { return sum.Dot(alg, a, b) }
 // ExactSum returns the exact, correctly rounded sum of xs (an
 // order-independent oracle backed by a Kulisch-style superaccumulator).
 func ExactSum(xs []float64) float64 { return superacc.Sum(xs) }
+
+// ParallelSum computes the sum of xs with the given algorithm on the
+// deterministic chunked parallel engine (workers <= 0 selects
+// GOMAXPROCS). The input is cut into fixed-size chunks, each chunk is
+// reduced with the algorithm's mergeable operator, and the partials are
+// combined in a fixed balanced tree — so the result is bitwise-identical
+// for every worker count and equal to a single-threaded execution of the
+// same plan.
+func ParallelSum(alg Algorithm, xs []float64, workers int) float64 {
+	return parallel.Sum(alg, xs, parallel.Config{Workers: workers})
+}
+
+// ParallelExactSum computes the exact, correctly rounded sum of xs with
+// sharded superaccumulators merged exactly (workers <= 0 selects
+// GOMAXPROCS). The result is identical to ExactSum for any worker count.
+func ParallelExactSum(xs []float64, workers int) float64 {
+	return parallel.ExactSum(xs, parallel.Config{Workers: workers})
+}
 
 // ProfileOf profiles xs in one streaming pass.
 func ProfileOf(xs []float64) Profile { return selector.ProfileOf(xs) }

@@ -60,3 +60,45 @@ func TestPublicAccumulators(t *testing.T) {
 		t.Error("paper algorithm set wrong")
 	}
 }
+
+func TestPublicParallelSum(t *testing.T) {
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = float64(i%7) * 0.125
+	}
+	for _, alg := range repro.Algorithms {
+		ref := repro.ParallelSum(alg, xs, 1)
+		for _, w := range []int{2, 4, 8} {
+			got := repro.ParallelSum(alg, xs, w)
+			if math.Float64bits(got) != math.Float64bits(ref) {
+				t.Errorf("%v: %d workers gave %x, 1 worker gave %x",
+					alg, w, math.Float64bits(got), math.Float64bits(ref))
+			}
+		}
+	}
+	if got := repro.ParallelExactSum(xs, 4); got != repro.ExactSum(xs) {
+		t.Errorf("ParallelExactSum = %g, ExactSum = %g", got, repro.ExactSum(xs))
+	}
+}
+
+func TestPublicRuntimeWithWorkers(t *testing.T) {
+	xs := make([]float64, 1<<16)
+	for i := range xs {
+		xs[i] = 1 / float64(i+1)
+	}
+	seq, seqRep := repro.New(1e-8).Sum(xs)
+	for _, w := range []int{1, 2, 4, 8} {
+		rt := repro.New(1e-8, repro.WithWorkers(w), repro.WithChunkSize(1<<12))
+		got, rep := rt.Sum(xs)
+		if rep.Algorithm != seqRep.Algorithm {
+			t.Errorf("workers=%d selected %v, sequential selected %v",
+				w, rep.Algorithm, seqRep.Algorithm)
+		}
+		if w == 1 {
+			seq = got // engine plan differs from the no-engine path; w=1 is the oracle
+		} else if math.Float64bits(got) != math.Float64bits(seq) {
+			t.Errorf("workers=%d sum %x != workers=1 sum %x",
+				w, math.Float64bits(got), math.Float64bits(seq))
+		}
+	}
+}
