@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench artifacts clean
+.PHONY: build test verify bench bench-json artifacts clean
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,24 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: static checks plus the full test suite
-# under the race detector (the parallel engine, grid.Sweep, and mpirt
-# all run goroutine pools that must stay race-clean).
+# verify is the pre-merge gate: static checks, the full test suite under
+# the race detector (the parallel engine, grid.Sweep, and mpirt all run
+# goroutine pools that must stay race-clean), and an explicit pass over
+# the fused-engine guarantees — bitwise fused/legacy equivalence and the
+# zero-allocation trial loop.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run 'Equivalence|Replay|Fused|Allocs|PlanSource|WorkerCounts' ./internal/tree ./internal/grid ./internal/metrics
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json records the fused-vs-legacy sweep benchmarks as a
+# machine-readable artifact (compared across PRs).
+bench-json:
+	$(GO) test ./internal/grid -run '^$$' -bench Sweep -benchmem | $(GO) run ./cmd/benchjson > BENCH_sweep.json
+	@cat BENCH_sweep.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

@@ -7,6 +7,7 @@
 //	gridmap -space kdr -n 4096 -trials 50
 //	gridmap -space nk -dr 16
 //	gridmap -space kdr -policy -thresholds 5e-13,1e-13,5e-14
+//	gridmap -space kdr -shape unbalanced -workers 8 -engine legacy
 package main
 
 import (
@@ -30,10 +31,29 @@ func main() {
 	dr := flag.Int("dr", 16, "dynamic range for the nk space")
 	trials := flag.Int("trials", 50, "reduction trees per cell")
 	seed := flag.Uint64("seed", 1, "seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); never affects results")
+	shapeName := flag.String("shape", "balanced", "reduction tree shape: balanced, unbalanced, random, blocked, or knomial")
+	engineName := flag.String("engine", "fused", "sweep engine: fused or legacy")
 	policy := flag.Bool("policy", false, "render Fig 12-style cheapest-algorithm maps instead of shading")
 	thresholds := flag.String("thresholds", "5e-13,3e-13,2.5e-13,1.5e-13,5e-14",
 		"comma-separated variability thresholds for -policy")
 	flag.Parse()
+
+	var shape tree.Shape
+	if err := shape.UnmarshalText([]byte(*shapeName)); err != nil {
+		fmt.Fprintln(os.Stderr, "gridmap:", err)
+		os.Exit(1)
+	}
+	var engine grid.Engine
+	switch *engineName {
+	case "fused":
+		engine = grid.FusedEngine
+	case "legacy":
+		engine = grid.LegacyEngine
+	default:
+		fmt.Fprintf(os.Stderr, "gridmap: unknown engine %q (want fused or legacy)\n", *engineName)
+		os.Exit(1)
+	}
 
 	ks := []float64{1, 1e2, 1e4, 1e6, 1e8}
 	drs := []int{0, 8, 16, 24, 32}
@@ -63,8 +83,10 @@ func main() {
 	results := grid.Sweep(cells, grid.Config{
 		Algorithms: sum.PaperAlgorithms,
 		Trials:     *trials,
-		Shape:      tree.Balanced,
+		Shape:      shape,
 		Seed:       *seed,
+		Workers:    *workers,
+		Fused:      engine,
 	})
 
 	if *policy {

@@ -34,17 +34,18 @@ func Fig2(cfg Config) Fig2Result {
 	xs := gen.Uniform(n, -1000, 1000, cfg.Seed)
 	ref := bigref.SumFloat64(xs)
 	r := fpu.NewRNG(cfg.Seed ^ 0xF162)
+	stream := metrics.NewErrorStream(ref, orders)
 	errs := make([]float64, orders)
 	work := make([]float64, n)
 	copy(work, xs)
 	for i := range errs {
 		r.Shuffle(work)
-		errs[i] = abs(sum.Standard(work) - ref)
+		errs[i] = stream.Observe(sum.Standard(work))
 	}
 	return Fig2Result{
 		N:                n,
 		Orders:           orders,
-		Errors:           metrics.Describe(errs),
+		Errors:           stream.Describe(append([]float64(nil), errs...)),
 		ErrorSample:      errs,
 		AnalyticBound:    metrics.AnalyticBound(xs),
 		StatisticalBound: metrics.StatisticalBound(xs),

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/bigref"
-	"repro/internal/fpu"
 	"repro/internal/gen"
 	"repro/internal/grid"
 	"repro/internal/metrics"
@@ -31,7 +30,10 @@ type Fig6Result struct {
 // Fig6Algorithms are the algorithms plotted by the figure.
 var Fig6Algorithms = []sum.Algorithm{sum.KahanAlg, sum.CompositeAlg, sum.PreroundedAlg}
 
-// Fig6 runs the experiment.
+// Fig6 runs the experiment. The three algorithms walk every sampled
+// tree in lockstep over one shared plan stream — the same tree sequence
+// the per-algorithm replays used to draw independently, now permuted
+// once per tree instead of once per tree per algorithm.
 func Fig6(cfg Config) Fig6Result {
 	n := cfg.pick(4096, 1<<17)
 	trees := cfg.pick(50, 200)
@@ -45,12 +47,24 @@ func Fig6(cfg Config) Fig6Result {
 		Errors: make(map[sum.Algorithm][]float64, len(Fig6Algorithms)),
 		Stats:  make(map[sum.Algorithm]metrics.Stats, len(Fig6Algorithms)),
 	}
-	for _, alg := range Fig6Algorithms {
-		rng := fpu.NewRNG(cfg.Seed ^ 0x6A16) // same tree sequence per algorithm
-		sums := grid.AlgSpread(alg, tree.Balanced, xs, trees, rng)
-		errs := metrics.Errors(sums, ref)
-		res.Errors[alg] = errs
-		res.Stats[alg] = metrics.Describe(errs)
+	me := tree.NewMultiExecutor(grid.Lanes(Fig6Algorithms)...)
+	out := make([]float64, me.Lanes())
+	ps := tree.NewPlanSource(tree.Balanced, n, cfg.Seed^0x6A16)
+	streams := make([]*metrics.ErrorStream, len(Fig6Algorithms))
+	errs := make([][]float64, len(Fig6Algorithms))
+	for ai := range streams {
+		streams[ai] = metrics.NewErrorStream(ref, trees)
+		errs[ai] = make([]float64, 0, trees)
+	}
+	for t := 0; t < trees; t++ {
+		me.Run(ps.Next(), xs, out)
+		for ai, s := range out {
+			errs[ai] = append(errs[ai], streams[ai].Observe(s))
+		}
+	}
+	for ai, alg := range Fig6Algorithms {
+		res.Errors[alg] = errs[ai]
+		res.Stats[alg] = streams[ai].Describe(append([]float64(nil), errs[ai]...))
 	}
 	return res
 }

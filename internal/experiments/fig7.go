@@ -34,11 +34,20 @@ type Fig7Result struct {
 
 // Fig7 runs the experiment. Paper scale: n in {8192, 2^20}, 100 trees
 // per panel.
+//
+// Each panel samples one shared plan stream and walks every tree with
+// all four algorithms in lockstep (the fused engine): the figure's
+// question is how the same tree nondeterminism affects each algorithm,
+// so giving every algorithm the identical trees is the cleaner design —
+// and permutes each operand set once per tree instead of once per tree
+// per algorithm.
 func Fig7(cfg Config) Fig7Result {
 	small := cfg.pick(2048, 8192)
 	large := cfg.pick(1<<14, 1<<20)
 	trees := cfg.pick(30, 100)
 	res := Fig7Result{Trees: trees}
+	me := tree.NewMultiExecutor(grid.Lanes(sum.PaperAlgorithms)...)
+	out := make([]float64, me.Lanes())
 	for _, shape := range []tree.Shape{tree.Balanced, tree.Unbalanced} {
 		for _, n := range []int{small, large} {
 			xs := gen.SumZeroSeries(n, 32, cfg.Seed+uint64(n))
@@ -48,10 +57,21 @@ func Fig7(cfg Config) Fig7Result {
 				N:     n,
 				Stats: make(map[sum.Algorithm]metrics.Stats, len(sum.PaperAlgorithms)),
 			}
-			for _, alg := range sum.PaperAlgorithms {
-				rng := fpu.NewRNG(cfg.Seed ^ uint64(alg)<<8 ^ uint64(n))
-				sums := grid.AlgSpread(alg, shape, xs, trees, rng)
-				panel.Stats[alg] = metrics.ErrorStats(sums, ref)
+			ps := tree.NewPlanSource(shape, n, fpu.MixSeed(cfg.Seed, 0xf17<<32|uint64(n)))
+			streams := make([]*metrics.ErrorStream, len(sum.PaperAlgorithms))
+			errs := make([][]float64, len(sum.PaperAlgorithms))
+			for ai := range streams {
+				streams[ai] = metrics.NewErrorStream(ref, trees)
+				errs[ai] = make([]float64, 0, trees)
+			}
+			for t := 0; t < trees; t++ {
+				me.Run(ps.Next(), xs, out)
+				for ai, s := range out {
+					errs[ai] = append(errs[ai], streams[ai].Observe(s))
+				}
+			}
+			for ai, alg := range sum.PaperAlgorithms {
+				panel.Stats[alg] = streams[ai].Describe(errs[ai])
 			}
 			res.Panels = append(res.Panels, panel)
 		}

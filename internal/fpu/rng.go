@@ -13,6 +13,11 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed resets the generator to the stream that NewRNG(seed) produces.
+// It lets hot paths keep an RNG by value (or embedded in a reused
+// struct) instead of allocating a fresh generator per use.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // MixSeed derives the seed of an independent RNG stream from a base
 // seed and a stream index, pushing both through the full splitmix64
 // finalizer. Use it wherever per-cell / per-algorithm / per-worker
@@ -72,14 +77,22 @@ func (r *RNG) Shuffle(xs []float64) {
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)),
+// drawing exactly the same variates as Perm(len(p)) — callers that
+// reuse one buffer across many permutations (tree.PlanSource) stay on
+// the same plan stream as callers that allocate.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Bool returns a fair pseudo-random boolean.

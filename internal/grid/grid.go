@@ -5,8 +5,19 @@
 // distinct reduction trees; and the cell is scored by the standard
 // deviation of the errors — the visualized "level of irreproducibility".
 //
-// Cells are evaluated concurrently (one worker per CPU), since each cell
-// is an independent simulation.
+// Two evaluation engines are provided. The default fused engine samples
+// one shared plan stream per cell and walks every tree with all
+// configured algorithms in lockstep (tree.MultiExecutor): the paper's
+// question — how does each algorithm respond to the same tree
+// nondeterminism — answered with one operand permutation per tree
+// instead of one per tree per algorithm, streaming statistics instead
+// of materialized sum slices, and a flat (cell, trial-block) work queue
+// so grids with a few huge cells do not serialize on their largest
+// cell. The legacy engine (per-algorithm plan streams, per-cell
+// scheduling) is kept for equivalence testing and benchmarking.
+//
+// Both engines are deterministic: results are bitwise-identical at any
+// worker count.
 package grid
 
 import (
@@ -15,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bigref"
 	"repro/internal/fpu"
@@ -59,6 +71,28 @@ type CellResult struct {
 	Distinct map[sum.Algorithm]int
 }
 
+// Engine selects a sweep's cell-evaluation engine.
+type Engine uint8
+
+const (
+	// FusedEngine — the zero value, so the default — evaluates all
+	// algorithms over one shared plan stream per cell with lockstep
+	// execution, streaming statistics, and flat trial-block scheduling.
+	FusedEngine Engine = iota
+	// LegacyEngine gives each algorithm its own independent plan stream
+	// and schedules whole cells; kept for equivalence tests and the
+	// BenchmarkSweepLegacy baseline.
+	LegacyEngine
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == LegacyEngine {
+		return "legacy"
+	}
+	return "fused"
+}
+
 // Config tunes a sweep.
 type Config struct {
 	// Algorithms to evaluate per cell (default: the paper's four).
@@ -70,8 +104,16 @@ type Config struct {
 	Shape tree.Shape
 	// Seed makes the sweep reproducible.
 	Seed uint64
-	// Workers bounds concurrency (default: GOMAXPROCS).
+	// Workers bounds concurrency (default: GOMAXPROCS). Results are
+	// bitwise-identical at any worker count.
 	Workers int
+	// Fused selects the evaluation engine (default FusedEngine).
+	Fused Engine
+	// TrialBlock is the number of trials per fused work unit (default
+	// 32). Block boundaries seed the per-block plan streams, so
+	// TrialBlock is part of the experiment definition — changing it
+	// changes the sampled trees, whereas Workers never does.
+	TrialBlock int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,8 +126,14 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.TrialBlock <= 0 {
+		c.TrialBlock = 32
+	}
 	return c
 }
+
+// blocks returns the number of trial blocks per cell.
+func (c Config) blocks() int { return (c.Trials + c.TrialBlock - 1) / c.TrialBlock }
 
 // KDRGrid enumerates the (k, dr) space at fixed n — Fig 9's axes.
 func KDRGrid(n int, ks []float64, drs []int) []CellSpec {
@@ -121,8 +169,20 @@ func NKGrid(ns []int, ks []float64, dr int) []CellSpec {
 }
 
 // Sweep evaluates every cell and returns results in the cells' order.
+// Sweep(cells, cfg)[i] is always identical to EvalCell(cells[i], cfg,
+// cellSeed(cfg.Seed, i)), whatever the engine or worker count.
 func Sweep(cells []CellSpec, cfg Config) []CellResult {
 	cfg = cfg.withDefaults()
+	if cfg.Fused == LegacyEngine {
+		return sweepLegacy(cells, cfg)
+	}
+	return sweepFused(cells, cfg)
+}
+
+// sweepLegacy is the pre-fused scheduler: one goroutine per cell behind
+// a semaphore. A grid with a few huge-n cells serializes on its largest
+// cell here — the pathology sweepFused's flat queue removes.
+func sweepLegacy(cells []CellSpec, cfg Config) []CellResult {
 	out := make([]CellResult, len(cells))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
@@ -137,6 +197,197 @@ func Sweep(cells []CellSpec, cfg Config) []CellResult {
 	}
 	wg.Wait()
 	return out
+}
+
+// sweepFused schedules a flat queue of (cell, trial-block) units over a
+// bounded worker pool. Workers pull units with an atomic cursor, so all
+// of them can cooperate on the blocks of one expensive cell instead of
+// idling while a single goroutine grinds through it. Each unit writes
+// its per-algorithm streams into its own slot; per-cell results are
+// then merged in ascending block order, keeping the output
+// bitwise-stable at any worker count (the invariant internal/parallel
+// established for shared-memory reductions).
+func sweepFused(cells []CellSpec, cfg Config) []CellResult {
+	type unit struct{ cell, block int }
+	nb := cfg.blocks()
+	units := make([]unit, 0, len(cells)*nb)
+	for ci := range cells {
+		for b := 0; b < nb; b++ {
+			units = append(units, unit{ci, b})
+		}
+	}
+	data := make([]cellData, len(cells))
+	partials := make([][][]*metrics.ErrorStream, len(cells))
+	for ci := range partials {
+		partials[ci] = make([][]*metrics.ErrorStream, nb)
+	}
+	workers := cfg.Workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker reusable state: lanes, lockstep executor, plan
+			// source, and output slot all reach a zero-allocation steady
+			// state across every unit this worker processes.
+			fw := newFusedWorker(cfg)
+			for {
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				seed := cellSeed(cfg.Seed, u.cell)
+				cd := &data[u.cell]
+				cd.init(cells[u.cell], seed)
+				partials[u.cell][u.block] = fw.evalBlock(cfg, cd, seed, u.block)
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]CellResult, len(cells))
+	for ci := range cells {
+		out[ci] = mergeCellResult(cells[ci], cfg, &data[ci], partials[ci])
+	}
+	return out
+}
+
+// cellData is one cell's lazily generated operand set, shared by all of
+// the cell's trial blocks (whichever worker touches the cell first
+// generates it).
+type cellData struct {
+	once sync.Once
+	xs   []float64
+	ref  float64
+	k    float64
+	dr   int
+}
+
+func (cd *cellData) init(cell CellSpec, seed uint64) {
+	cd.once.Do(func() {
+		cd.xs = gen.Spec{
+			N:        cell.N,
+			Cond:     cell.Cond,
+			DynRange: cell.DynRange,
+			Seed:     seed,
+		}.Generate()
+		cd.ref = bigref.SumFloat64(cd.xs)
+		cd.k = metrics.CondNumber(cd.xs)
+		cd.dr = metrics.DynRange(cd.xs)
+	})
+}
+
+// fusedWorker owns one worker's reusable evaluation state.
+type fusedWorker struct {
+	me  *tree.MultiExecutor
+	ps  *tree.PlanSource
+	out []float64
+}
+
+func newFusedWorker(cfg Config) *fusedWorker {
+	return &fusedWorker{
+		me:  tree.NewMultiExecutor(Lanes(cfg.Algorithms)...),
+		ps:  tree.NewPlanSource(cfg.Shape, 0, 0),
+		out: make([]float64, len(cfg.Algorithms)),
+	}
+}
+
+// evalBlock evaluates one cell's trials [block*TrialBlock, min(...,
+// Trials)) over the block's plan stream, returning one error stream per
+// configured algorithm. Every plan is permuted once and walked by all
+// algorithms in lockstep.
+func (w *fusedWorker) evalBlock(cfg Config, cd *cellData, cellSeed uint64, block int) []*metrics.ErrorStream {
+	lo := block * cfg.TrialBlock
+	hi := lo + cfg.TrialBlock
+	if hi > cfg.Trials {
+		hi = cfg.Trials
+	}
+	streams := make([]*metrics.ErrorStream, len(cfg.Algorithms))
+	for i := range streams {
+		streams[i] = metrics.NewErrorStream(cd.ref, hi-lo)
+	}
+	w.ps.Reset(cfg.Shape, len(cd.xs), blockSeed(cellSeed, block))
+	for t := lo; t < hi; t++ {
+		w.me.Run(w.ps.Next(), cd.xs, w.out)
+		for i, s := range w.out {
+			streams[i].Observe(s)
+		}
+	}
+	return streams
+}
+
+// mergeCellResult folds a cell's per-block streams (in ascending block
+// order — the deterministic merge) into its CellResult.
+func mergeCellResult(cell CellSpec, cfg Config, cd *cellData, blocks [][]*metrics.ErrorStream) CellResult {
+	res := CellResult{
+		Spec:       cell,
+		MeasuredK:  cd.k,
+		MeasuredDR: cd.dr,
+		StdDev:     make(map[sum.Algorithm]float64, len(cfg.Algorithms)),
+		RelStdDev:  make(map[sum.Algorithm]float64, len(cfg.Algorithms)),
+		MaxErr:     make(map[sum.Algorithm]float64, len(cfg.Algorithms)),
+		Distinct:   make(map[sum.Algorithm]int, len(cfg.Algorithms)),
+	}
+	for ai, alg := range cfg.Algorithms {
+		agg := blocks[0][ai]
+		for b := 1; b < len(blocks); b++ {
+			agg.Merge(blocks[b][ai])
+		}
+		sd := agg.StdDev()
+		res.StdDev[alg] = sd
+		res.MaxErr[alg] = agg.Max()
+		res.Distinct[alg] = agg.Distinct()
+		switch {
+		case sd == 0:
+			res.RelStdDev[alg] = 0
+		case cd.ref == 0:
+			res.RelStdDev[alg] = math.Inf(1)
+		default:
+			res.RelStdDev[alg] = sd / math.Abs(cd.ref)
+		}
+	}
+	return res
+}
+
+// blockSeed derives the plan-stream seed of one trial block within a
+// cell. Blocks occupy their own stream domain, disjoint from both the
+// per-cell domain (cellSeed) and the legacy per-algorithm domain
+// (algSeed) split off the same base seed.
+func blockSeed(cellSeed uint64, block int) uint64 {
+	return fpu.MixSeed(cellSeed, 0xb10c<<32|uint64(block))
+}
+
+// Lanes returns one lockstep-execution lane per algorithm, for use with
+// tree.MultiExecutor. Each lane is the exact single-algorithm executor,
+// so fused roots are bitwise-identical to Executor.Run on the same
+// plan.
+func Lanes(algs []sum.Algorithm) []tree.Lane {
+	out := make([]tree.Lane, len(algs))
+	for i, alg := range algs {
+		out[i] = AlgLane(alg)
+	}
+	return out
+}
+
+// AlgLane returns the lockstep lane for one algorithm.
+func AlgLane(alg sum.Algorithm) tree.Lane {
+	switch alg {
+	case sum.StandardAlg, sum.PairwiseAlg:
+		return tree.NewLane[float64](sum.STMonoid{})
+	case sum.KahanAlg:
+		return tree.NewLane[sum.KState](sum.KahanMonoid{})
+	case sum.NeumaierAlg:
+		return tree.NewLane[sum.NState](sum.NeumaierMonoid{})
+	case sum.CompositeAlg:
+		return tree.NewLane(sum.CPMonoid{})
+	case sum.PreroundedAlg:
+		return tree.NewLane[sum.PRState](sum.DefaultPRConfig().Monoid())
+	}
+	panic("grid: invalid algorithm " + alg.String())
 }
 
 // cellSeed derives cell i's generation seed from the sweep seed. The
@@ -156,9 +407,30 @@ func algSeed(cellSeed uint64, alg sum.Algorithm) uint64 {
 }
 
 // EvalCell generates the cell's operand set and measures per-algorithm
-// error spreads over cfg.Trials random reduction trees.
+// error spreads over cfg.Trials random reduction trees, using the
+// engine selected by cfg.Fused. The two engines sample different (both
+// deterministic) plan streams: the fused engine feeds one shared
+// stream to all algorithms, the legacy engine one independent stream
+// per algorithm.
 func EvalCell(cell CellSpec, cfg Config, seed uint64) CellResult {
 	cfg = cfg.withDefaults()
+	if cfg.Fused == LegacyEngine {
+		return evalCellLegacy(cell, cfg, seed)
+	}
+	var cd cellData
+	cd.init(cell, seed)
+	w := newFusedWorker(cfg)
+	blocks := make([][]*metrics.ErrorStream, cfg.blocks())
+	for b := range blocks {
+		blocks[b] = w.evalBlock(cfg, &cd, seed, b)
+	}
+	return mergeCellResult(cell, cfg, &cd, blocks)
+}
+
+// evalCellLegacy is the pre-fused evaluation: every algorithm draws its
+// own plan stream, materializes its sums slice, and summarizes it after
+// the fact.
+func evalCellLegacy(cell CellSpec, cfg Config, seed uint64) CellResult {
 	xs := gen.Spec{
 		N:        cell.N,
 		Cond:     cell.Cond,

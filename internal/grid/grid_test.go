@@ -228,14 +228,17 @@ func TestClassifyMonotoneInThreshold(t *testing.T) {
 		}
 	}
 	// At threshold 0 only algorithms that were bitwise reproducible on
-	// the cell qualify. CP often achieves that on moderate cells (the
-	// paper saw CP and PR perform identically); PR always does.
+	// the cell qualify; PR always is, so every cell must classify, and
+	// whatever cheaper algorithm wins must itself have been bitwise
+	// reproducible over the sample (K or CP can legitimately achieve
+	// that on easy cells).
 	for i, c := range classes[len(thresholds)-1] {
-		if c != int(sum.PreroundedAlg) && c != int(sum.CompositeAlg) {
-			t.Errorf("cell %d at t=0: class %d, want CP or PR", i, c)
+		if c < 0 {
+			t.Errorf("cell %d at t=0: nothing qualified, but PR always does", i)
+			continue
 		}
-		if c >= 0 && res[i].Distinct[sum.Algorithm(c)] != 1 {
-			t.Errorf("cell %d: classified algorithm was not reproducible", i)
+		if res[i].Distinct[sum.Algorithm(c)] != 1 {
+			t.Errorf("cell %d: classified algorithm %v was not reproducible", i, sum.Algorithm(c))
 		}
 	}
 }

@@ -154,9 +154,6 @@ func Describe(sample []float64) Stats {
 	var st Stats
 	st.N = n
 	st.Min, st.Max = sorted[0], sorted[n-1]
-	st.Median = quantile(sorted, 0.5)
-	st.Q1 = quantile(sorted, 0.25)
-	st.Q3 = quantile(sorted, 0.75)
 	// Mean and variance via exact accumulation of the moments.
 	var sum1, sum2 superacc.Acc
 	for _, v := range sorted {
@@ -172,6 +169,16 @@ func Describe(sample []float64) Stats {
 			st.StdDev = math.Sqrt(v)
 		}
 	}
+	fillOrderStats(&st, sorted)
+	return st
+}
+
+// fillOrderStats fills the order statistics of st — median, quartiles,
+// Tukey whiskers, and outliers — from a sorted non-empty sample.
+func fillOrderStats(st *Stats, sorted []float64) {
+	st.Median = quantile(sorted, 0.5)
+	st.Q1 = quantile(sorted, 0.25)
+	st.Q3 = quantile(sorted, 0.75)
 	fenceLo := st.Q1 - 1.5*st.IQR()
 	fenceHi := st.Q3 + 1.5*st.IQR()
 	st.WhiskLo, st.WhiskHi = st.Median, st.Median
@@ -187,7 +194,6 @@ func Describe(sample []float64) Stats {
 		}
 		st.WhiskHi = v
 	}
-	return st
 }
 
 // quantile interpolates the q-quantile of a sorted sample (type 7).

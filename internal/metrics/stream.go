@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// ErrorStream accumulates the error statistics of computed sums against
+// a fixed reference, one observation at a time: Welford mean/variance,
+// running min/max, and the set of distinct result bit patterns. It is
+// the streaming replacement for materializing a per-algorithm sums
+// slice and calling ErrorStats on it — the fused sweep engine keeps one
+// ErrorStream per algorithm lane and never builds the slice.
+//
+// Observing a value already seen costs no allocations, so the fused
+// trial loop's steady state stays allocation-free; only genuinely new
+// bit patterns may grow the distinct set.
+type ErrorStream struct {
+	ref      float64
+	n        int
+	mean, m2 float64
+	min, max float64
+	distinct map[uint64]struct{}
+}
+
+// NewErrorStream returns a stream measuring errors against reference.
+// sizeHint, when positive, pre-sizes the distinct-bits set (pass the
+// expected trial count to avoid rehashing mid-sweep).
+func NewErrorStream(reference float64, sizeHint int) *ErrorStream {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &ErrorStream{
+		ref:      reference,
+		min:      math.Inf(1),
+		max:      math.Inf(-1),
+		distinct: make(map[uint64]struct{}, sizeHint),
+	}
+}
+
+// Observe folds one computed sum into the stream and returns the
+// absolute error it contributed.
+func (s *ErrorStream) Observe(sum float64) float64 {
+	e := math.Abs(sum - s.ref)
+	s.n++
+	delta := e - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (e - s.mean)
+	if e < s.min {
+		s.min = e
+	}
+	if e > s.max {
+		s.max = e
+	}
+	s.distinct[math.Float64bits(sum)] = struct{}{}
+	return e
+}
+
+// N returns the number of observations.
+func (s *ErrorStream) N() int { return s.n }
+
+// Mean returns the running mean absolute error.
+func (s *ErrorStream) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// StdDev returns the sample standard deviation (n-1 divisor) of the
+// absolute errors, 0 for fewer than two observations.
+func (s *ErrorStream) StdDev() float64 {
+	if s.n < 2 || s.m2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest error observed (0 when empty).
+func (s *ErrorStream) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest error observed (0 when empty).
+func (s *ErrorStream) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Distinct returns the number of distinct sum bit patterns observed —
+// 1 means bitwise reproducible across the sample.
+func (s *ErrorStream) Distinct() int { return len(s.distinct) }
+
+// Merge folds stream o into s (Chan et al. parallel moment
+// combination). Both streams must measure against the same reference.
+// Merging the per-block streams of a sweep in a fixed block order makes
+// the combined statistics bitwise-stable at any worker count.
+func (s *ErrorStream) Merge(o *ErrorStream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n, s.mean, s.m2, s.min, s.max = o.n, o.mean, o.m2, o.min, o.max
+	} else {
+		na, nb := float64(s.n), float64(o.n)
+		tot := na + nb
+		delta := o.mean - s.mean
+		s.mean += delta * nb / tot
+		s.m2 += o.m2 + delta*delta*na*nb/tot
+		s.n += o.n
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	for bits := range o.distinct {
+		s.distinct[bits] = struct{}{}
+	}
+}
+
+// Stats returns the moment statistics of the stream as a Stats value;
+// the order statistics (median, quartiles, whiskers, outliers) are left
+// zero — use Describe with the retained error sample to fill them.
+func (s *ErrorStream) Stats() Stats {
+	return Stats{
+		N:      s.n,
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+}
+
+// Describe returns the stream's moment statistics combined with the
+// order statistics of errs, which must be the sample of errors the
+// stream observed (as returned by Observe). errs is sorted in place —
+// no copy is taken, unlike Describe(Errors(sums, ref)).
+func (s *ErrorStream) Describe(errs []float64) Stats {
+	st := s.Stats()
+	if len(errs) == 0 {
+		return st
+	}
+	sort.Float64s(errs)
+	fillOrderStats(&st, errs)
+	return st
+}

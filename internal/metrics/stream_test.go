@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpu"
+)
+
+func streamSample(n int, seed uint64) []float64 {
+	r := fpu.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 100 + math.Ldexp(r.Float64()-0.5, r.Intn(20)-30)
+	}
+	// A few exact repeats so Distinct < n.
+	for i := 5; i < n; i += 7 {
+		xs[i] = xs[i-5]
+	}
+	return xs
+}
+
+func TestErrorStreamMatchesBatchStats(t *testing.T) {
+	const ref = 100.0
+	sums := streamSample(500, 3)
+	s := NewErrorStream(ref, len(sums))
+	for _, v := range sums {
+		s.Observe(v)
+	}
+	batch := ErrorStats(sums, ref)
+	if s.N() != batch.N {
+		t.Fatalf("N %d != %d", s.N(), batch.N)
+	}
+	// Min and max are exact; Welford moments agree with the exact
+	// superaccumulator moments to tight relative tolerance.
+	if s.Min() != batch.Min || s.Max() != batch.Max {
+		t.Errorf("min/max: stream (%g, %g) vs batch (%g, %g)", s.Min(), s.Max(), batch.Min, batch.Max)
+	}
+	if rel := math.Abs(s.Mean()-batch.Mean) / batch.Mean; rel > 1e-12 {
+		t.Errorf("mean off by %g relative", rel)
+	}
+	if rel := math.Abs(s.StdDev()-batch.StdDev) / batch.StdDev; rel > 1e-9 {
+		t.Errorf("stddev off by %g relative", rel)
+	}
+	if s.Distinct() != DistinctValues(sums) {
+		t.Errorf("distinct %d != %d", s.Distinct(), DistinctValues(sums))
+	}
+}
+
+func TestErrorStreamMergeDeterministicAndAccurate(t *testing.T) {
+	const ref = 100.0
+	sums := streamSample(300, 9)
+	merged := func() *ErrorStream {
+		var blocks []*ErrorStream
+		for lo := 0; lo < len(sums); lo += 64 {
+			hi := lo + 64
+			if hi > len(sums) {
+				hi = len(sums)
+			}
+			b := NewErrorStream(ref, hi-lo)
+			for _, v := range sums[lo:hi] {
+				b.Observe(v)
+			}
+			blocks = append(blocks, b)
+		}
+		agg := blocks[0]
+		for _, b := range blocks[1:] {
+			agg.Merge(b)
+		}
+		return agg
+	}
+	a, b := merged(), merged()
+	// Fixed block boundaries + fixed merge order => bitwise repeatable.
+	if math.Float64bits(a.Mean()) != math.Float64bits(b.Mean()) ||
+		math.Float64bits(a.StdDev()) != math.Float64bits(b.StdDev()) {
+		t.Error("blockwise merge not bitwise repeatable")
+	}
+	// And close to the single-stream result.
+	single := NewErrorStream(ref, len(sums))
+	for _, v := range sums {
+		single.Observe(v)
+	}
+	if a.N() != single.N() || a.Distinct() != single.Distinct() {
+		t.Errorf("merge lost observations: N %d/%d distinct %d/%d",
+			a.N(), single.N(), a.Distinct(), single.Distinct())
+	}
+	if a.Min() != single.Min() || a.Max() != single.Max() {
+		t.Error("merge min/max mismatch")
+	}
+	if rel := math.Abs(a.StdDev()-single.StdDev()) / single.StdDev(); rel > 1e-9 {
+		t.Errorf("merged stddev off by %g relative", rel)
+	}
+	// Merging an empty stream is the identity.
+	before := a.StdDev()
+	a.Merge(NewErrorStream(ref, 0))
+	if a.StdDev() != before {
+		t.Error("merging empty stream changed moments")
+	}
+}
+
+func TestErrorStreamEdgeCases(t *testing.T) {
+	s := NewErrorStream(1, 0)
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Distinct() != 0 {
+		t.Error("empty stream should report zeros")
+	}
+	s.Observe(1) // exact hit: error 0
+	if s.StdDev() != 0 || s.Max() != 0 || s.Distinct() != 1 {
+		t.Errorf("single exact observation: sd=%g max=%g distinct=%d", s.StdDev(), s.Max(), s.Distinct())
+	}
+	st := s.Stats()
+	if st.N != 1 || st.Max != 0 {
+		t.Errorf("Stats: %+v", st)
+	}
+}
+
+func TestErrorStreamDescribeQuantiles(t *testing.T) {
+	const ref = 0.0
+	sums := streamSample(101, 17)
+	s := NewErrorStream(ref, len(sums))
+	errs := make([]float64, 0, len(sums))
+	for _, v := range sums {
+		errs = append(errs, s.Observe(v))
+	}
+	got := s.Describe(errs)
+	want := ErrorStats(sums, ref)
+	if got.Median != want.Median || got.Q1 != want.Q1 || got.Q3 != want.Q3 ||
+		got.WhiskLo != want.WhiskLo || got.WhiskHi != want.WhiskHi ||
+		len(got.Outliers) != len(want.Outliers) {
+		t.Errorf("order statistics diverge: got %+v want %+v", got, want)
+	}
+}
+
+func TestErrorStreamSteadyStateZeroAllocs(t *testing.T) {
+	s := NewErrorStream(10, 4)
+	vals := []float64{10.5, 9.25, 10.125, 11}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, v := range vals {
+			s.Observe(v)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%g allocs per steady-state observation batch, want 0", allocs)
+	}
+}

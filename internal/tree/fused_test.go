@@ -1,0 +1,264 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpu"
+	"repro/internal/sum"
+)
+
+// singleRunners returns one fresh single-algorithm executor per
+// registered algorithm (as Run closures), in sum.Algorithms order.
+func singleRunners() []func(Plan, []float64) float64 {
+	return []func(Plan, []float64) float64{
+		NewExecutor[float64](sum.STMonoid{}).Run,                     // ST
+		NewExecutor[float64](sum.STMonoid{}).Run,                     // PW (same monoid)
+		NewExecutor[sum.KState](sum.KahanMonoid{}).Run,               // K
+		NewExecutor[sum.NState](sum.NeumaierMonoid{}).Run,            // N
+		NewExecutor(sum.CPMonoid{}).Run,                              // CP
+		NewExecutor[sum.PRState](sum.DefaultPRConfig().Monoid()).Run, // PR
+	}
+}
+
+func allLanes() []Lane {
+	return []Lane{
+		NewLane[float64](sum.STMonoid{}),
+		NewLane[float64](sum.STMonoid{}),
+		NewLane[sum.KState](sum.KahanMonoid{}),
+		NewLane[sum.NState](sum.NeumaierMonoid{}),
+		NewLane(sum.CPMonoid{}),
+		NewLane[sum.PRState](sum.DefaultPRConfig().Monoid()),
+	}
+}
+
+func TestPlanSourceMatchesNewPlan(t *testing.T) {
+	// NewPlanSource must replay exactly the plan stream that repeated
+	// NewPlan draws from the same seed — permutations and pairing seeds.
+	for _, shape := range Shapes {
+		for _, n := range []int{0, 1, 2, 17, 257} {
+			seed := uint64(99)*uint64(n) + uint64(shape)
+			src := NewPlanSource(shape, n, seed)
+			rng := fpu.NewRNG(seed)
+			for trial := 0; trial < 8; trial++ {
+				got := src.Next()
+				want := NewPlan(shape, n, rng)
+				if got.Shape != want.Shape || got.Seed != want.Seed {
+					t.Fatalf("%v n=%d trial %d: plan header diverged", shape, n, trial)
+				}
+				if len(got.Perm) != len(want.Perm) {
+					t.Fatalf("%v n=%d trial %d: perm length %d != %d", shape, n, trial, len(got.Perm), len(want.Perm))
+				}
+				for i := range got.Perm {
+					if got.Perm[i] != want.Perm[i] {
+						t.Fatalf("%v n=%d trial %d: perm[%d] = %d, want %d",
+							shape, n, trial, i, got.Perm[i], want.Perm[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanSourceResetReusesBuffer(t *testing.T) {
+	src := NewPlanSource(Balanced, 100, 1)
+	p1 := src.Next()
+	buf := &p1.Perm[0]
+	src.Reset(Balanced, 64, 2)
+	p2 := src.Next()
+	if &p2.Perm[0] != buf {
+		t.Error("Reset to a smaller n should reuse the permutation buffer")
+	}
+	if src.N() != 64 || len(p2.Perm) != 64 {
+		t.Errorf("N = %d, len(perm) = %d, want 64", src.N(), len(p2.Perm))
+	}
+	// Clone must detach from the buffer.
+	c := p2.Clone()
+	src.Next()
+	for i, v := range c.Perm {
+		if v < 0 || v >= 64 {
+			t.Fatalf("cloned perm[%d] = %d corrupted by Next", i, v)
+		}
+	}
+}
+
+func TestMultiExecutorEquivalence(t *testing.T) {
+	// The tentpole guarantee: over a recorded plan stream, every lane of
+	// a MultiExecutor reproduces the single-algorithm Executor.Run
+	// result bit-for-bit, for every algorithm and every shape.
+	xs := mixedSet(777, 31)
+	for _, shape := range Shapes {
+		// Record the plan stream.
+		src := NewPlanSource(shape, len(xs), 41)
+		var recorded []Plan
+		for trial := 0; trial < 12; trial++ {
+			recorded = append(recorded, src.Next().Clone())
+		}
+		// Replay it through the fused executor.
+		me := NewMultiExecutor(allLanes()...)
+		singles := singleRunners()
+		out := make([]float64, me.Lanes())
+		replay := NewPlanSource(shape, len(xs), 41)
+		for trial, want := range recorded {
+			me.Run(replay.Next(), xs, out)
+			for ai, alg := range sum.Algorithms {
+				exp := singles[ai](want, xs)
+				if math.Float64bits(out[ai]) != math.Float64bits(exp) {
+					t.Errorf("%v %v trial %d: fused %x != single %x",
+						shape, alg, trial, math.Float64bits(out[ai]), math.Float64bits(exp))
+				}
+			}
+		}
+	}
+}
+
+func TestMultiExecutorEmptyAndReuse(t *testing.T) {
+	me := NewMultiExecutor(NewLane[float64](sum.STMonoid{}))
+	out := me.Run(IdentityPlan(Balanced), nil, nil)
+	if len(out) != 1 || out[0] != 0 {
+		t.Errorf("empty input: %v", out)
+	}
+	// Shrinking then regrowing operand sets must not cross-contaminate.
+	a := mixedSet(200, 1)
+	b := mixedSet(37, 2)
+	ra1 := me.Run(IdentityPlan(Balanced), a, out)[0]
+	me.Run(IdentityPlan(Balanced), b, out)
+	ra2 := me.Run(IdentityPlan(Balanced), a, out)[0]
+	if ra1 != ra2 {
+		t.Errorf("reuse changed result: %g vs %g", ra1, ra2)
+	}
+}
+
+func TestFusedTrialZeroAllocs(t *testing.T) {
+	// The fused steady state — regenerate a plan in place, permute once,
+	// walk the tree with all six algorithms — must not allocate.
+	xs := mixedSet(1024, 55)
+	for _, shape := range Shapes {
+		src := NewPlanSource(shape, len(xs), 7)
+		me := NewMultiExecutor(allLanes()...)
+		out := make([]float64, me.Lanes())
+		me.Run(src.Next(), xs, out) // warm buffers
+		allocs := testing.AllocsPerRun(50, func() {
+			me.Run(src.Next(), xs, out)
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %g allocs per fused trial, want 0", shape, allocs)
+		}
+	}
+}
+
+func TestSingleExecutorTrialZeroAllocs(t *testing.T) {
+	// The refactored single-algorithm path must stay allocation-free in
+	// steady state too (including Random, which reseeds a value RNG).
+	xs := mixedSet(512, 56)
+	for _, shape := range Shapes {
+		src := NewPlanSource(shape, len(xs), 8)
+		ex := NewExecutor[sum.KState](sum.KahanMonoid{})
+		ex.Run(src.Next(), xs)
+		allocs := testing.AllocsPerRun(50, func() {
+			ex.Run(src.Next(), xs)
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %g allocs per single trial, want 0", shape, allocs)
+		}
+	}
+}
+
+// depthMonoid computes the depth of the reduction tree actually walked:
+// a leaf is depth 0 and every merge is one level above its deeper child.
+type depthMonoid struct{}
+
+func (depthMonoid) Leaf(float64) float64 { return 0 }
+func (depthMonoid) Merge(a, b float64) float64 {
+	if a < b {
+		a = b
+	}
+	return a + 1
+}
+func (depthMonoid) Finalize(s float64) float64 { return s }
+
+// leafDepthMonoid tracks (leaf count, total leaf depth) so Finalize
+// yields the tree's mean leaf depth.
+type leafDepthMonoid struct{}
+
+func (leafDepthMonoid) Leaf(float64) [2]float64 { return [2]float64{1, 0} }
+func (leafDepthMonoid) Merge(a, b [2]float64) [2]float64 {
+	leaves := a[0] + b[0]
+	return [2]float64{leaves, a[1] + b[1] + leaves}
+}
+func (leafDepthMonoid) Finalize(s [2]float64) float64 {
+	if s[0] == 0 {
+		return 0
+	}
+	return s[1] / s[0]
+}
+
+func TestDepthPinnedAgainstBruteForce(t *testing.T) {
+	// Plan.Depth must equal the brute-force counted merge levels for
+	// every deterministic shape, including ragged sizes and the
+	// empty-trailing-block Blocked configurations that used to panic.
+	ns := []int{1, 2, 3, 17, 1024}
+	plans := []Plan{
+		IdentityPlan(Balanced),
+		IdentityPlan(Unbalanced),
+		IdentityPlan(Blocked),
+		{Shape: Blocked, Blocks: 4},
+		{Shape: Blocked, Blocks: 5}, // 5 blocks over 6 leaves: empty-block regression
+		IdentityPlan(Knomial),
+		{Shape: Knomial, Radix: 2},
+		{Shape: Knomial, Radix: 3},
+	}
+	for _, p := range plans {
+		for _, n := range append(ns, 6) {
+			xs := make([]float64, n)
+			brute := int(Reduce[float64](depthMonoid{}, p, xs))
+			if want := p.Depth(n); brute != want {
+				t.Errorf("%v (blocks=%d radix=%d) n=%d: brute depth %d != Depth %d",
+					p.Shape, p.Blocks, p.Radix, n, brute, want)
+			}
+		}
+	}
+	// Random: Depth is the worst case; every realized tree must stay at
+	// or below it and at or above the balanced lower bound.
+	for _, n := range ns {
+		for seed := uint64(0); seed < 10; seed++ {
+			p := Plan{Shape: Random, Seed: seed}
+			brute := int(Reduce[float64](depthMonoid{}, p, make([]float64, n)))
+			if brute > p.Depth(n) {
+				t.Errorf("random n=%d seed %d: depth %d exceeds worst case %d", n, seed, brute, p.Depth(n))
+			}
+			if lb := IdentityPlan(Balanced).Depth(n); brute < lb {
+				t.Errorf("random n=%d seed %d: depth %d below balanced bound %d", n, seed, brute, lb)
+			}
+		}
+	}
+}
+
+func TestRandomExpectedDepth(t *testing.T) {
+	// ExpectedDepth(Random) = 2*(H_n - 1) is the exact mean leaf depth
+	// of the uniform pairing process; the empirical mean over many
+	// sampled trees must agree closely (and sit far below Depth's
+	// worst case n-1).
+	const n, seeds = 1024, 40
+	p := Plan{Shape: Random}
+	want := p.ExpectedDepth(n)
+	total := 0.0
+	for seed := uint64(0); seed < seeds; seed++ {
+		p.Seed = seed
+		total += Reduce[[2]float64](leafDepthMonoid{}, p, make([]float64, n))
+	}
+	got := total / seeds
+	if math.Abs(got-want) > 0.1*want {
+		t.Errorf("empirical mean leaf depth %.2f vs ExpectedDepth %.2f (>10%% off)", got, want)
+	}
+	if want >= float64(p.Depth(n))/10 {
+		t.Errorf("ExpectedDepth %.2f not far below worst case %d", want, p.Depth(n))
+	}
+	// Deterministic shapes: ExpectedDepth == Depth exactly.
+	for _, shape := range []Shape{Balanced, Unbalanced, Blocked, Knomial} {
+		q := IdentityPlan(shape)
+		if q.ExpectedDepth(1024) != float64(q.Depth(1024)) {
+			t.Errorf("%v: ExpectedDepth != Depth", shape)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package tree
+
+import "repro/internal/fpu"
+
+// PlanSource generates the plan stream of a fused sweep: the sequence
+// of random-leaf-assignment plans that NewPlan would draw from the same
+// seed, but regenerated in-place into one owned permutation buffer
+// (Fisher–Yates via fpu.RNG.PermInto) so the steady state allocates
+// nothing per trial. The returned Plan aliases the internal buffer —
+// it is valid only until the next call to Next or Reset; callers that
+// need to retain a plan must copy Perm (see Clone).
+//
+// Stream compatibility: NewPlanSource(shape, n, seed) yields exactly
+// the plans of repeated NewPlan(shape, n, rng) over rng :=
+// fpu.NewRNG(seed), permutation values and pairing seeds included.
+type PlanSource struct {
+	shape Shape
+	rng   fpu.RNG
+	perm  []int
+}
+
+// NewPlanSource returns a source of random plans of the given shape
+// over n operands, seeded with seed.
+func NewPlanSource(shape Shape, n int, seed uint64) *PlanSource {
+	s := &PlanSource{}
+	s.Reset(shape, n, seed)
+	return s
+}
+
+// Reset repositions the source onto a new stream (and operand count),
+// reusing the permutation buffer when it is large enough. It allows one
+// source to serve many (cell, trial-block) work units.
+func (s *PlanSource) Reset(shape Shape, n int, seed uint64) {
+	s.shape = shape
+	s.rng.Reseed(seed)
+	if cap(s.perm) < n {
+		s.perm = make([]int, n)
+	}
+	s.perm = s.perm[:n]
+}
+
+// N returns the operand count the source currently generates plans for.
+func (s *PlanSource) N() int { return len(s.perm) }
+
+// Next regenerates the permutation in place and returns the next plan
+// of the stream. The plan's Perm aliases the source's buffer.
+func (s *PlanSource) Next() Plan {
+	s.rng.PermInto(s.perm)
+	return Plan{Shape: s.shape, Perm: s.perm, Seed: s.rng.Uint64()}
+}
+
+// Clone returns a copy of p whose Perm no longer aliases any source
+// buffer, for recording plan streams (equivalence tests, traces).
+func (p Plan) Clone() Plan {
+	if p.Perm == nil {
+		return p
+	}
+	perm := make([]int, len(p.Perm))
+	copy(perm, p.Perm)
+	p.Perm = perm
+	return p
+}

@@ -103,7 +103,11 @@ func NewPlan(shape Shape, n int, rng *fpu.RNG) Plan {
 }
 
 // Depth returns the depth of the reduction tree over n leaves: the
-// number of merge levels an operand contribution can traverse.
+// number of merge levels an operand contribution can traverse. For the
+// deterministic shapes this is exact (pinned against brute-force merge
+// counting in the tests); for Random it is the worst case n-1 — a
+// fully degenerate chain of pairings — while the typical tree is far
+// shallower; see ExpectedDepth for the mean.
 func (p Plan) Depth(n int) int {
 	if n <= 1 {
 		return 0
@@ -123,8 +127,11 @@ func (p Plan) Depth(n int) int {
 			b = n
 		}
 		per := (n + b - 1) / b
+		// Only ceil(n/per) blocks are non-empty; when b does not divide
+		// n the trailing blocks can be empty and never produce partials.
+		nb := (n + per - 1) / per
 		d := per - 1
-		for m := b; m > 1; m = (m + 1) / 2 {
+		for m := nb; m > 1; m = (m + 1) / 2 {
 			d++
 		}
 		return d
@@ -142,9 +149,33 @@ func (p Plan) Depth(n int) int {
 			d += group - 1
 		}
 		return d
-	default: // Random: expected depth is O(sqrt(n)); report worst case.
+	default: // Random: worst case; ExpectedDepth gives the mean.
 		return n - 1
 	}
+}
+
+// ExpectedDepth returns the expected depth of the reduction tree over n
+// leaves. For the deterministic shapes it equals Depth. For Random —
+// whose Depth reports the worst case n-1 — it is the exact mean leaf
+// depth of the uniform random pairing process (Kingman coalescent
+// topology): at every stage with m live partials a given leaf's partial
+// is involved in the merge with probability 2/m, so
+//
+//	E[depth] = sum_{m=2..n} 2/m = 2*(H_n - 1) ~= 2*ln(n),
+//
+// exponentially shallower than the worst case.
+func (p Plan) ExpectedDepth(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if p.Shape != Random {
+		return float64(p.Depth(n))
+	}
+	h := 0.0
+	for m := 2; m <= n; m++ {
+		h += 2 / float64(m)
+	}
+	return h
 }
 
 func (p Plan) blocks() int {
@@ -181,19 +212,35 @@ func (e *Executor[S]) Run(p Plan, xs []float64) float64 {
 		e.vals = make([]float64, n)
 	}
 	vals := e.vals[:n]
-	if p.Perm == nil {
-		copy(vals, xs)
-	} else {
-		for i, j := range p.Perm {
-			vals[i] = xs[j]
-		}
+	permuteInto(vals, xs, p.Perm)
+	return e.runShape(p, vals)
+}
+
+// permuteInto writes xs reordered by perm (identity when nil) into dst.
+func permuteInto(dst, xs []float64, perm []int) {
+	if perm == nil {
+		copy(dst, xs)
+		return
+	}
+	for i, j := range perm {
+		dst[i] = xs[j]
+	}
+}
+
+// runShape walks plan p's tree over already-permuted leaf values. It is
+// the permutation-free tail of Run, shared with MultiExecutor so one
+// operand permutation can be amortized over several algorithms; both
+// paths therefore perform bitwise-identical merge sequences.
+func (e *Executor[S]) runShape(p Plan, vals []float64) float64 {
+	if len(vals) == 0 {
+		return e.m.Finalize(e.m.Leaf(0))
 	}
 	switch p.Shape {
 	case Unbalanced:
 		return reduce.Fold(e.m, vals)
 	case Balanced:
-		if cap(e.states) < n {
-			e.states = make([]S, n)
+		if cap(e.states) < len(vals) {
+			e.states = make([]S, len(vals))
 		}
 		return reduce.Pairwise(e.m, vals, e.states)
 	case Blocked:
@@ -212,11 +259,15 @@ func (e *Executor[S]) runBlocked(p Plan, vals []float64) float64 {
 	if b > n {
 		b = n
 	}
+	per := (n + b - 1) / b
+	// When b does not divide n the trailing blocks can start past the
+	// end of the data; only the ceil(n/per) non-empty blocks produce
+	// partials (an empty block has no identity partial to contribute).
+	b = (n + per - 1) / per
 	if cap(e.states) < b {
 		e.states = make([]S, b)
 	}
 	partials := e.states[:b]
-	per := (n + b - 1) / b
 	for i := 0; i < b; i++ {
 		lo := i * per
 		hi := lo + per
@@ -285,7 +336,10 @@ func (e *Executor[S]) runRandom(p Plan, vals []float64) float64 {
 	for i, x := range vals {
 		states[i] = e.m.Leaf(x)
 	}
-	rng := fpu.NewRNG(p.Seed)
+	// A value RNG keeps the trial loop allocation-free (NewRNG would
+	// heap-allocate under some inlining decisions).
+	var rng fpu.RNG
+	rng.Reseed(p.Seed)
 	for m := n; m > 1; m-- {
 		i := rng.Intn(m)
 		j := rng.Intn(m - 1)
