@@ -11,21 +11,25 @@ test:
 # verify is the pre-merge gate: static checks, the full test suite under
 # the race detector (the parallel engine, grid.Sweep, and mpirt all run
 # goroutine pools that must stay race-clean), and an explicit pass over
-# the fused-engine guarantees — bitwise fused/legacy equivalence and the
-# zero-allocation trial loop.
+# the fused-engine and kernel-layer guarantees — bitwise fused/legacy and
+# kernel/generic equivalence, lane-plan worker invariance, and the
+# zero-allocation trial and fold loops.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'Equivalence|Replay|Fused|Allocs|PlanSource|WorkerCounts' ./internal/tree ./internal/grid ./internal/metrics
+	$(GO) test -run 'Equivalence|Allocs|Lane|NonFinite|BatchDeposit' ./internal/kernel ./internal/parallel ./internal/selector
 
 bench:
 	$(GO) test -bench=. -benchmem
 
-# bench-json records the fused-vs-legacy sweep benchmarks as a
-# machine-readable artifact (compared across PRs).
+# bench-json records the fused-vs-legacy sweep benchmarks and the batch
+# kernel benchmarks as machine-readable artifacts (compared across PRs,
+# e.g. `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`).
 bench-json:
 	$(GO) test ./internal/grid -run '^$$' -bench Sweep -benchmem | $(GO) run ./cmd/benchjson > BENCH_sweep.json
-	@cat BENCH_sweep.json
+	$(GO) test ./internal/kernel -run '^$$' -bench . -benchmem | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	@cat BENCH_sweep.json BENCH_kernels.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

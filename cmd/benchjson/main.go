@@ -1,19 +1,28 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON document on stdout, so benchmark numbers can be recorded as
-// machine-readable artifacts (the repo's BENCH_sweep.json):
+// machine-readable artifacts (the repo's BENCH_sweep.json and
+// BENCH_kernels.json):
 //
 //	go test ./internal/grid -run '^$' -bench Sweep -benchmem | benchjson
 //
 // Context lines (goos, goarch, cpu, pkg) are captured as metadata;
 // every benchmark result line becomes one entry with its run count,
 // ns/op, and — when -benchmem was given — B/op and allocs/op.
+//
+// With -compare, benchjson instead diffs two previously recorded
+// documents and prints per-benchmark ns/op and B/op deltas, so the perf
+// trajectory across PRs is reviewable at a glance:
+//
+//	benchjson -compare old.json new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +47,20 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false,
+		"compare two recorded JSON documents: benchjson -compare old.json new.json")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -53,6 +76,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads one previously recorded document.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
+}
+
+// compareFiles prints per-benchmark ns/op and B/op deltas between two
+// recorded documents. Benchmarks present in only one document are
+// listed separately so silent coverage drift is visible.
+func compareFiles(w *os.File, oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	var onlyNew []string
+	type row struct {
+		name string
+		o, n Result
+	}
+	var rows []row
+	for _, r := range newRep.Results {
+		o, ok := oldBy[r.Name]
+		if !ok {
+			onlyNew = append(onlyNew, r.Name)
+			continue
+		}
+		rows = append(rows, row{r.Name, o, r})
+		delete(oldBy, r.Name)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old B/op", "new B/op", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-52s %14.1f %14.1f %7.1f%% %12d %12d %7s\n",
+			r.name, r.o.NsPerOp, r.n.NsPerOp, pct(r.o.NsPerOp, r.n.NsPerOp),
+			r.o.BytesPerOp, r.n.BytesPerOp, pctStr(float64(r.o.BytesPerOp), float64(r.n.BytesPerOp)))
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "%-52s (only in %s)\n", name, newPath)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(w, "%-52s (only in %s)\n", name, oldPath)
+	}
+	return nil
+}
+
+// pct returns the relative change from old to new in percent; negative
+// is an improvement for ns/op and B/op.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func pctStr(old, new float64) string {
+	if old == 0 && new == 0 {
+		return "0%"
+	}
+	if old == 0 {
+		return "+new"
+	}
+	return fmt.Sprintf("%.1f%%", pct(old, new))
 }
 
 func parse(sc *bufio.Scanner) (Report, error) {

@@ -67,6 +67,21 @@ func WithChunkSize(c int) Option {
 	}
 }
 
+// WithLaneWidth sets the engine's fixed accumulator-lane count (1, 2, 4,
+// or 8; 0 selects 1, the legacy single-accumulator bits) and enables the
+// engine. Wider lanes break the serial floating-point dependency chain
+// inside each chunk fold for instruction-level parallelism while staying
+// bitwise-identical across worker counts and runs — but, like the chunk
+// size, the lane width is part of the reproducibility contract: two
+// runtimes agree bitwise only if they use the same lane width. See
+// parallel.Config.LaneWidth.
+func WithLaneWidth(k int) Option {
+	return func(rt *Runtime) {
+		rt.useEngine = true
+		rt.par.LaneWidth = k
+	}
+}
+
 // New returns a Runtime that keeps the relative run-to-run variability
 // of its reductions within tolerance (0 demands bitwise reproducibility).
 func New(tolerance float64, opts ...Option) *Runtime {

@@ -1,0 +1,113 @@
+// Package kernel provides hand-specialized batch summation kernels: the
+// devirtualized inner loops behind every hot fold in the repository.
+//
+// The generic execution paths (reduce.Fold, parallel chunk folds, the
+// tree executors' serial leaf runs, selector profiling) express one
+// element step as a Leaf plus a Merge through a reduce.Monoid interface
+// value — two dynamic calls per element that the compiler can neither
+// inline nor software-pipeline. The kernels in this package collapse
+// that step into straight-line float64 code over a []float64, in two
+// classes:
+//
+//   - Reference-order kernels (ST, Kahan, Neumaier, CP, Exact): fold the
+//     slice in exactly the left-to-right order reduce.Fold defines —
+//     Leaf(xs[0]) merged with Leaf of every later element — and are
+//     proven bit-identical to that reference by exhaustive equivalence
+//     tests. They are pure speedups: swapping them in changes no bits
+//     anywhere.
+//
+//   - Lane kernels (LaneST, LaneKahan, LaneNeumaier, LanePairwise):
+//     fixed-width K-accumulator variants (K in {1, 2, 4, 8}) that break
+//     the serial floating-point dependency chain for instruction-level
+//     parallelism. Element i feeds lane i mod K (a fixed stride
+//     partition) and the K lane states are merged left-to-right with the
+//     algorithm's own merge operator. Both the partition and the merge
+//     order are pure functions of (len(xs), K), so a lane kernel's
+//     result is bitwise-stable across machines, worker counts, and runs
+//     — but it is a *different reduction plan* than the serial fold, the
+//     same way a different parallel.Config.ChunkSize is. The lane width
+//     is therefore part of the determinism contract, surfaced as
+//     parallel.Config.LaneWidth / repro.WithLaneWidth.
+//
+// Go's float64 arithmetic follows IEEE-754 exactly and is never fused or
+// reassociated by the compiler, so every kernel's bit pattern is a
+// platform-independent function of its input and width.
+package kernel
+
+import (
+	"repro/internal/dd"
+	"repro/internal/superacc"
+)
+
+// ST folds xs left-to-right with plain float64 addition — bit-identical
+// to reduce.Fold over sum.STMonoid and to sum.Standard. Empty input
+// returns 0 (the fold identity).
+func ST(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Kahan folds xs left-to-right with Kahan's compensated recurrence and
+// returns the (sum, pending correction) pair — bit-identical to folding
+// sum.KahanMonoid in reference order (and to streaming sum.KahanAcc).
+// Empty input returns the zero state.
+func Kahan(xs []float64) (s, c float64) {
+	for _, x := range xs {
+		y := x - c
+		t := s + y
+		c = (t - s) - y
+		s = t
+	}
+	return s, c
+}
+
+// Neumaier folds xs left-to-right with Neumaier's branched compensated
+// recurrence and returns the (sum, correction) pair — bit-identical to
+// folding sum.NeumaierMonoid in reference order (the branched residual
+// equals the branch-free TwoSum residual exactly: both are the
+// representable error of the same addition). Empty input returns the
+// zero state.
+func Neumaier(xs []float64) (s, c float64) {
+	for _, x := range xs {
+		t := s + x
+		if abs(s) >= abs(x) {
+			c += (s - t) + x
+		} else {
+			c += (x - t) + s
+		}
+		s = t
+	}
+	return s, c
+}
+
+// CP folds xs left-to-right in composite precision — bit-identical to
+// folding sum.CPMonoid in reference order: the running state is a
+// double-double pair and every step is the full accurate dd.Add (not
+// the cheaper AddFloat64, whose last bit can differ). Empty input
+// returns the zero state.
+func CP(xs []float64) dd.DD {
+	if len(xs) == 0 {
+		return dd.Zero
+	}
+	acc := dd.FromFloat64(xs[0])
+	for _, x := range xs[1:] {
+		acc = acc.Add(dd.FromFloat64(x))
+	}
+	return acc
+}
+
+// Exact deposits xs into the superaccumulator with its batch loop
+// (superacc.Acc.AddSlice): per-element carry bookkeeping is hoisted out
+// of the deposit loop. The accumulated value is exact, so the result is
+// identical to element-wise Add in any order.
+func Exact(acc *superacc.Acc, xs []float64) { acc.AddSlice(xs) }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,304 @@
+package kernel_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dd"
+	"repro/internal/gen"
+	"repro/internal/kernel"
+	"repro/internal/reduce"
+	"repro/internal/sum"
+	"repro/internal/superacc"
+)
+
+func bits(v float64) uint64 { return math.Float64bits(v) }
+
+// refFold is the reference left-to-right fold — the exact sequence
+// reduce.Fold documents — executed through the generic Leaf/Merge
+// interface with no fast path, so kernels are tested against the
+// generic semantics rather than against themselves.
+func refFold[S any](m reduce.Monoid[S], xs []float64) S {
+	if len(xs) == 0 {
+		return m.Leaf(0)
+	}
+	acc := m.Leaf(xs[0])
+	for _, x := range xs[1:] {
+		acc = m.Merge(acc, m.Leaf(x))
+	}
+	return acc
+}
+
+// sizes covers the lane-width and block edge cases: empty, below every
+// lane width, at and around multiples of 2/4/8 and of the pairwise
+// block, and a large non-aligned length.
+var sizes = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 127, 128, 129, 1000, 4096, 4097}
+
+// inputs generates the adversarial corners of the generator space at
+// length n (n < 2 falls back to fixed values, gen requires N >= 2).
+func inputs(n int) map[string][]float64 {
+	switch n {
+	case 0:
+		return map[string][]float64{"empty": nil}
+	case 1:
+		return map[string][]float64{"single": {3.25}, "negsingle": {-0x1p-40}}
+	}
+	return map[string][]float64{
+		"benign":    gen.Spec{N: n, Cond: 1, DynRange: 8, Seed: uint64(n)}.Generate(),
+		"illcond":   gen.Spec{N: n, Cond: 1e8, DynRange: 24, Seed: uint64(n) + 1}.Generate(),
+		"sumzero":   gen.Spec{N: n, Cond: math.Inf(1), DynRange: 32, Seed: uint64(n) + 2}.Generate(),
+		"widerange": gen.Spec{N: n, Cond: 1e4, DynRange: 40, Seed: uint64(n) + 3}.Generate(),
+	}
+}
+
+// TestKernelFoldEquivalence pins every reference-order kernel bitwise
+// against the generic fold of its monoid, state component by state
+// component, across algorithms x sizes x adversarial inputs.
+func TestKernelFoldEquivalence(t *testing.T) {
+	for _, n := range sizes {
+		for name, xs := range inputs(n) {
+			tag := fmt.Sprintf("n=%d/%s", n, name)
+
+			if got, want := kernel.ST(xs), refFold[float64](sum.STMonoid{}, xs); bits(got) != bits(want) {
+				t.Errorf("%s: ST kernel %x, reference fold %x", tag, bits(got), bits(want))
+			}
+
+			ks, kc := kernel.Kahan(xs)
+			kref := refFold[sum.KState](sum.KahanMonoid{}, xs)
+			if bits(ks) != bits(kref.S) || bits(kc) != bits(kref.C) {
+				t.Errorf("%s: Kahan kernel (%x,%x), reference (%x,%x)",
+					tag, bits(ks), bits(kc), bits(kref.S), bits(kref.C))
+			}
+
+			ns, nc := kernel.Neumaier(xs)
+			nref := refFold[sum.NState](sum.NeumaierMonoid{}, xs)
+			if bits(ns) != bits(nref.S) || bits(nc) != bits(nref.C) {
+				t.Errorf("%s: Neumaier kernel (%x,%x), reference (%x,%x)",
+					tag, bits(ns), bits(nc), bits(nref.S), bits(nref.C))
+			}
+
+			cp := kernel.CP(xs)
+			cpref := refFold[dd.DD](sum.CPMonoid{}, xs)
+			if bits(cp.Hi) != bits(cpref.Hi) || bits(cp.Lo) != bits(cpref.Lo) {
+				t.Errorf("%s: CP kernel (%x,%x), reference (%x,%x)",
+					tag, bits(cp.Hi), bits(cp.Lo), bits(cpref.Hi), bits(cpref.Lo))
+			}
+		}
+	}
+}
+
+// TestReduceFoldFastPathEquivalence proves the end-to-end substitution:
+// reduce.Fold over the sum monoids (which now route through FoldSlice)
+// returns the identical bits to the generic reference fold.
+func TestReduceFoldFastPathEquivalence(t *testing.T) {
+	for _, n := range sizes {
+		for name, xs := range inputs(n) {
+			tag := fmt.Sprintf("n=%d/%s", n, name)
+			check := func(alg string, got, want float64) {
+				if bits(got) != bits(want) {
+					t.Errorf("%s/%s: Fold fast path %x, reference %x", tag, alg, bits(got), bits(want))
+				}
+			}
+			stm := sum.STMonoid{}
+			check("ST", reduce.Fold[float64](stm, xs), stm.Finalize(refFold[float64](stm, xs)))
+			km := sum.KahanMonoid{}
+			check("K", reduce.Fold[sum.KState](km, xs), km.Finalize(refFold[sum.KState](km, xs)))
+			nm := sum.NeumaierMonoid{}
+			check("N", reduce.Fold[sum.NState](nm, xs), nm.Finalize(refFold[sum.NState](nm, xs)))
+			cm := sum.CPMonoid{}
+			check("CP", reduce.Fold[dd.DD](cm, xs), cm.Finalize(refFold[dd.DD](cm, xs)))
+		}
+	}
+}
+
+// laneRefST is the lane-plan reference: gather lane l = elements at
+// indices congruent to l mod k, fold each lane with the monoid's
+// reference fold, merge lane states left-to-right. The hand-unrolled
+// kernels must match this definition exactly.
+func laneRef[S any](m reduce.Monoid[S], xs []float64, k int) S {
+	lanes := make([]S, k)
+	for l := 0; l < k; l++ {
+		var vals []float64
+		for i := l; i < len(xs); i += k {
+			vals = append(vals, xs[i])
+		}
+		lanes[l] = refFold(m, vals)
+	}
+	st := lanes[0]
+	for _, s := range lanes[1:] {
+		st = m.Merge(st, s)
+	}
+	return st
+}
+
+// TestLaneKernelEquivalence pins every lane kernel bitwise against the
+// stride-partition-plus-ordered-merge plan definition, for every
+// supported width, across sizes (including n < k) and adversarial
+// inputs.
+func TestLaneKernelEquivalence(t *testing.T) {
+	for _, n := range sizes {
+		for name, xs := range inputs(n) {
+			for _, k := range kernel.LaneWidths {
+				tag := fmt.Sprintf("n=%d/%s/k=%d", n, name, k)
+
+				stWant := (sum.STMonoid{}).Finalize(laneRef[float64](sum.STMonoid{}, xs, k))
+				if got := kernel.LaneST(xs, k); bits(got) != bits(stWant) {
+					t.Errorf("%s: LaneST %x, plan reference %x", tag, bits(got), bits(stWant))
+				}
+
+				ks, kc := kernel.LaneKahan(xs, k)
+				kref := laneRef[sum.KState](sum.KahanMonoid{}, xs, k)
+				if bits(ks) != bits(kref.S) || bits(kc) != bits(kref.C) {
+					t.Errorf("%s: LaneKahan (%x,%x), plan reference (%x,%x)",
+						tag, bits(ks), bits(kc), bits(kref.S), bits(kref.C))
+				}
+
+				ns, nc := kernel.LaneNeumaier(xs, k)
+				nref := laneRef[sum.NState](sum.NeumaierMonoid{}, xs, k)
+				if bits(ns) != bits(nref.S) || bits(nc) != bits(nref.C) {
+					t.Errorf("%s: LaneNeumaier (%x,%x), plan reference (%x,%x)",
+						tag, bits(ns), bits(nc), bits(nref.S), bits(nref.C))
+				}
+			}
+		}
+	}
+}
+
+// lanePairwiseRef mirrors LanePairwise's plan definition with the lane
+// reference instead of the unrolled base kernel.
+func lanePairwiseRef(xs []float64, k int) float64 {
+	if len(xs) <= 64 {
+		return sum.STMonoid{}.Finalize(laneRef[float64](sum.STMonoid{}, xs, k))
+	}
+	half := len(xs) / 2
+	return lanePairwiseRef(xs[:half], k) + lanePairwiseRef(xs[half:], k)
+}
+
+func TestLanePairwiseEquivalence(t *testing.T) {
+	for _, n := range sizes {
+		for name, xs := range inputs(n) {
+			// Width 1 must reproduce the classic pairwise sum exactly.
+			if got, want := kernel.LanePairwise(xs, 1), sum.Pairwise(xs); bits(got) != bits(want) {
+				t.Errorf("n=%d/%s: LanePairwise(k=1) %x, sum.Pairwise %x", n, name, bits(got), bits(want))
+			}
+			for _, k := range kernel.LaneWidths {
+				if got, want := kernel.LanePairwise(xs, k), lanePairwiseRef(xs, k); bits(got) != bits(want) {
+					t.Errorf("n=%d/%s/k=%d: LanePairwise %x, plan reference %x", n, name, k, bits(got), bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestKernelNonFinite checks the poison semantics the selector's profile
+// promises: non-finite inputs yield non-finite results from every
+// kernel, matching the generic fold's IEEE propagation.
+func TestKernelNonFinite(t *testing.T) {
+	poisoned := map[string][]float64{
+		"nan":     {1, 2, math.NaN(), 4, 5, 6, 7, 8, 9},
+		"inf":     {1, math.Inf(1), 2, 3, 4, 5, 6, 7, 8},
+		"neginf":  {math.Inf(-1), 1, 2, 3, 4, 5, 6, 7, 8},
+		"infclash": {math.Inf(1), math.Inf(-1), 1, 2, 3, 4, 5, 6, 7},
+	}
+	for name, xs := range poisoned {
+		nonFinite := func(kind string, v float64) {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				t.Errorf("%s/%s: finite result %g from poisoned input", name, kind, v)
+			}
+		}
+		nonFinite("ST", kernel.ST(xs))
+		s, _ := kernel.Kahan(xs)
+		nonFinite("Kahan", s)
+		s, c := kernel.Neumaier(xs)
+		nonFinite("Neumaier", s+c)
+		nonFinite("CP-hi", kernel.CP(xs).Hi)
+		for _, k := range kernel.LaneWidths {
+			nonFinite(fmt.Sprintf("LaneST%d", k), kernel.LaneST(xs, k))
+			s, _ := kernel.LaneKahan(xs, k)
+			nonFinite(fmt.Sprintf("LaneKahan%d", k), s)
+			s, c := kernel.LaneNeumaier(xs, k)
+			nonFinite(fmt.Sprintf("LaneNeumaier%d", k), s+c)
+			nonFinite(fmt.Sprintf("LanePairwise%d", k), kernel.LanePairwise(xs, k))
+		}
+		// The ST kernel must propagate exactly as the generic fold does
+		// (same NaN-vs-Inf outcome), since it is a bit-identical fast path.
+		got, want := kernel.ST(xs), refFold[float64](sum.STMonoid{}, xs)
+		if math.IsNaN(got) != math.IsNaN(want) || (!math.IsNaN(got) && bits(got) != bits(want)) {
+			t.Errorf("%s: ST kernel %v, reference fold %v", name, got, want)
+		}
+	}
+}
+
+// TestLaneWidthValidation pins the supported-width set and the panic on
+// anything else.
+func TestLaneWidthValidation(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		if !kernel.ValidLaneWidth(k) {
+			t.Errorf("ValidLaneWidth(%d) = false", k)
+		}
+	}
+	for _, k := range []int{-1, 0, 3, 5, 6, 7, 9, 16} {
+		if kernel.ValidLaneWidth(k) {
+			t.Errorf("ValidLaneWidth(%d) = true", k)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LaneST with invalid width did not panic")
+		}
+	}()
+	kernel.LaneST([]float64{1, 2, 3}, 3)
+}
+
+// TestExactBatchDeposit pins the superaccumulator batch loop (used via
+// kernel.Exact) bitwise against element-wise deposits, including the
+// NaN poison path.
+func TestExactBatchDeposit(t *testing.T) {
+	for _, n := range sizes {
+		for name, xs := range inputs(n) {
+			batch := superacc.New()
+			kernel.Exact(batch, xs)
+			single := superacc.New()
+			for _, x := range xs {
+				single.Add(x)
+			}
+			if bits(batch.Float64()) != bits(single.Float64()) {
+				t.Errorf("n=%d/%s: batch deposit %x, element-wise %x",
+					n, name, bits(batch.Float64()), bits(single.Float64()))
+			}
+		}
+	}
+	poisoned := superacc.New()
+	kernel.Exact(poisoned, []float64{1, math.NaN(), 2})
+	if !math.IsNaN(poisoned.Float64()) {
+		t.Error("batch deposit dropped the NaN poison flag")
+	}
+}
+
+// TestKernelAllocs pins the zero-allocation contract of every kernel
+// fold, mirroring the fused-engine alloc tests.
+func TestKernelAllocs(t *testing.T) {
+	xs := gen.Spec{N: 4097, Cond: 1e4, DynRange: 16, Seed: 77}.Generate()
+	var sinkF float64
+	var sinkDD dd.DD
+	folds := map[string]func(){
+		"ST":       func() { sinkF = kernel.ST(xs) },
+		"Kahan":    func() { sinkF, _ = kernel.Kahan(xs) },
+		"Neumaier": func() { sinkF, _ = kernel.Neumaier(xs) },
+		"CP":       func() { sinkDD = kernel.CP(xs) },
+	}
+	for _, k := range kernel.LaneWidths {
+		k := k
+		folds[fmt.Sprintf("LaneST%d", k)] = func() { sinkF = kernel.LaneST(xs, k) }
+		folds[fmt.Sprintf("LaneKahan%d", k)] = func() { sinkF, _ = kernel.LaneKahan(xs, k) }
+		folds[fmt.Sprintf("LaneNeumaier%d", k)] = func() { sinkF, _ = kernel.LaneNeumaier(xs, k) }
+		folds[fmt.Sprintf("LanePairwise%d", k)] = func() { sinkF = kernel.LanePairwise(xs, k) }
+	}
+	for name, f := range folds {
+		if allocs := testing.AllocsPerRun(20, f); allocs != 0 {
+			t.Errorf("%s: %v allocs per fold, want 0", name, allocs)
+		}
+	}
+	_, _ = sinkF, sinkDD
+}

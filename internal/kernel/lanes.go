@@ -1,0 +1,371 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/fpu"
+)
+
+// Lane kernels: fixed-width K-accumulator folds. Element i feeds lane
+// i mod K (fixed stride partition); after the pass the K lane states are
+// merged left-to-right — ((lane0 op lane1) op lane2) op ... — with the
+// algorithm's own merge operator. The plan depends only on (len(xs), K),
+// never on scheduling, so the bits are stable across machines and runs;
+// K is part of the plan exactly like parallel.Config.ChunkSize.
+
+// LaneWidths lists the supported lane widths, in order.
+var LaneWidths = []int{1, 2, 4, 8}
+
+// ValidLaneWidth reports whether k is a supported lane width.
+func ValidLaneWidth(k int) bool { return k == 1 || k == 2 || k == 4 || k == 8 }
+
+func badLaneWidth(k int) string {
+	return fmt.Sprintf("kernel: invalid lane width %d (want 1, 2, 4, or 8)", k)
+}
+
+// LaneST sums xs with k interleaved plain accumulators. k = 1 is exactly
+// ST. Panics unless ValidLaneWidth(k).
+func LaneST(xs []float64, k int) float64 {
+	switch k {
+	case 1:
+		return ST(xs)
+	case 2:
+		return laneST2(xs)
+	case 4:
+		return laneST4(xs)
+	case 8:
+		return laneST8(xs)
+	}
+	panic(badLaneWidth(k))
+}
+
+func laneST2(xs []float64) float64 {
+	var s0, s1 float64
+	n := len(xs)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+	}
+	if i < n {
+		s0 += xs[i]
+	}
+	return s0 + s1
+}
+
+func laneST4(xs []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(xs)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+		s2 += xs[i+2]
+		s3 += xs[i+3]
+	}
+	if i < n {
+		s0 += xs[i]
+	}
+	if i+1 < n {
+		s1 += xs[i+1]
+	}
+	if i+2 < n {
+		s2 += xs[i+2]
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
+func laneST8(xs []float64) float64 {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	n := len(xs)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+		s2 += xs[i+2]
+		s3 += xs[i+3]
+		s4 += xs[i+4]
+		s5 += xs[i+5]
+		s6 += xs[i+6]
+		s7 += xs[i+7]
+	}
+	if i < n {
+		s0 += xs[i]
+	}
+	if i+1 < n {
+		s1 += xs[i+1]
+	}
+	if i+2 < n {
+		s2 += xs[i+2]
+	}
+	if i+3 < n {
+		s3 += xs[i+3]
+	}
+	if i+4 < n {
+		s4 += xs[i+4]
+	}
+	if i+5 < n {
+		s5 += xs[i+5]
+	}
+	if i+6 < n {
+		s6 += xs[i+6]
+	}
+	return ((((((s0 + s1) + s2) + s3) + s4) + s5) + s6) + s7
+}
+
+// kadd is one Kahan compensated-add step (the sum.KahanAcc recurrence).
+func kadd(s, c, x float64) (float64, float64) {
+	y := x - c
+	t := s + y
+	return t, (t - s) - y
+}
+
+// kmerge combines two Kahan lane states with sum.KahanMonoid's merge.
+func kmerge(sa, ca, sb, cb float64) (float64, float64) {
+	y := sb - (ca + cb)
+	t := sa + y
+	return t, (t - sa) - y
+}
+
+// LaneKahan sums xs with k interleaved compensated accumulators and
+// returns the merged (sum, correction) state. k = 1 is exactly Kahan.
+// Panics unless ValidLaneWidth(k).
+func LaneKahan(xs []float64, k int) (s, c float64) {
+	switch k {
+	case 1:
+		return Kahan(xs)
+	case 2:
+		return laneKahan2(xs)
+	case 4:
+		return laneKahan4(xs)
+	case 8:
+		return laneKahan8(xs)
+	}
+	panic(badLaneWidth(k))
+}
+
+func laneKahan2(xs []float64) (float64, float64) {
+	var s0, c0, s1, c1 float64
+	n := len(xs)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		s0, c0 = kadd(s0, c0, xs[i])
+		s1, c1 = kadd(s1, c1, xs[i+1])
+	}
+	if i < n {
+		s0, c0 = kadd(s0, c0, xs[i])
+	}
+	return kmerge(s0, c0, s1, c1)
+}
+
+func laneKahan4(xs []float64) (float64, float64) {
+	var s0, c0, s1, c1, s2, c2, s3, c3 float64
+	n := len(xs)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0, c0 = kadd(s0, c0, xs[i])
+		s1, c1 = kadd(s1, c1, xs[i+1])
+		s2, c2 = kadd(s2, c2, xs[i+2])
+		s3, c3 = kadd(s3, c3, xs[i+3])
+	}
+	if i < n {
+		s0, c0 = kadd(s0, c0, xs[i])
+	}
+	if i+1 < n {
+		s1, c1 = kadd(s1, c1, xs[i+1])
+	}
+	if i+2 < n {
+		s2, c2 = kadd(s2, c2, xs[i+2])
+	}
+	s, c := kmerge(s0, c0, s1, c1)
+	s, c = kmerge(s, c, s2, c2)
+	return kmerge(s, c, s3, c3)
+}
+
+func laneKahan8(xs []float64) (float64, float64) {
+	var s0, c0, s1, c1, s2, c2, s3, c3 float64
+	var s4, c4, s5, c5, s6, c6, s7, c7 float64
+	n := len(xs)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0, c0 = kadd(s0, c0, xs[i])
+		s1, c1 = kadd(s1, c1, xs[i+1])
+		s2, c2 = kadd(s2, c2, xs[i+2])
+		s3, c3 = kadd(s3, c3, xs[i+3])
+		s4, c4 = kadd(s4, c4, xs[i+4])
+		s5, c5 = kadd(s5, c5, xs[i+5])
+		s6, c6 = kadd(s6, c6, xs[i+6])
+		s7, c7 = kadd(s7, c7, xs[i+7])
+	}
+	if i < n {
+		s0, c0 = kadd(s0, c0, xs[i])
+	}
+	if i+1 < n {
+		s1, c1 = kadd(s1, c1, xs[i+1])
+	}
+	if i+2 < n {
+		s2, c2 = kadd(s2, c2, xs[i+2])
+	}
+	if i+3 < n {
+		s3, c3 = kadd(s3, c3, xs[i+3])
+	}
+	if i+4 < n {
+		s4, c4 = kadd(s4, c4, xs[i+4])
+	}
+	if i+5 < n {
+		s5, c5 = kadd(s5, c5, xs[i+5])
+	}
+	if i+6 < n {
+		s6, c6 = kadd(s6, c6, xs[i+6])
+	}
+	s, c := kmerge(s0, c0, s1, c1)
+	s, c = kmerge(s, c, s2, c2)
+	s, c = kmerge(s, c, s3, c3)
+	s, c = kmerge(s, c, s4, c4)
+	s, c = kmerge(s, c, s5, c5)
+	s, c = kmerge(s, c, s6, c6)
+	return kmerge(s, c, s7, c7)
+}
+
+// nadd is one Neumaier compensated-add step (the sum.NeumaierAcc
+// recurrence).
+func nadd(s, c, x float64) (float64, float64) {
+	t := s + x
+	if abs(s) >= abs(x) {
+		c += (s - t) + x
+	} else {
+		c += (x - t) + s
+	}
+	return t, c
+}
+
+// nmerge combines two Neumaier lane states with sum.NeumaierMonoid's
+// merge: an exact TwoSum of the partial sums, corrections added plainly.
+func nmerge(sa, ca, sb, cb float64) (float64, float64) {
+	s, e := fpu.TwoSum(sa, sb)
+	return s, ca + cb + e
+}
+
+// LaneNeumaier sums xs with k interleaved Neumaier accumulators and
+// returns the merged (sum, correction) state. k = 1 is exactly Neumaier.
+// Panics unless ValidLaneWidth(k).
+func LaneNeumaier(xs []float64, k int) (s, c float64) {
+	switch k {
+	case 1:
+		return Neumaier(xs)
+	case 2:
+		return laneNeumaier2(xs)
+	case 4:
+		return laneNeumaier4(xs)
+	case 8:
+		return laneNeumaier8(xs)
+	}
+	panic(badLaneWidth(k))
+}
+
+func laneNeumaier2(xs []float64) (float64, float64) {
+	var s0, c0, s1, c1 float64
+	n := len(xs)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		s0, c0 = nadd(s0, c0, xs[i])
+		s1, c1 = nadd(s1, c1, xs[i+1])
+	}
+	if i < n {
+		s0, c0 = nadd(s0, c0, xs[i])
+	}
+	return nmerge(s0, c0, s1, c1)
+}
+
+func laneNeumaier4(xs []float64) (float64, float64) {
+	var s0, c0, s1, c1, s2, c2, s3, c3 float64
+	n := len(xs)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0, c0 = nadd(s0, c0, xs[i])
+		s1, c1 = nadd(s1, c1, xs[i+1])
+		s2, c2 = nadd(s2, c2, xs[i+2])
+		s3, c3 = nadd(s3, c3, xs[i+3])
+	}
+	if i < n {
+		s0, c0 = nadd(s0, c0, xs[i])
+	}
+	if i+1 < n {
+		s1, c1 = nadd(s1, c1, xs[i+1])
+	}
+	if i+2 < n {
+		s2, c2 = nadd(s2, c2, xs[i+2])
+	}
+	s, c := nmerge(s0, c0, s1, c1)
+	s, c = nmerge(s, c, s2, c2)
+	return nmerge(s, c, s3, c3)
+}
+
+func laneNeumaier8(xs []float64) (float64, float64) {
+	var s0, c0, s1, c1, s2, c2, s3, c3 float64
+	var s4, c4, s5, c5, s6, c6, s7, c7 float64
+	n := len(xs)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0, c0 = nadd(s0, c0, xs[i])
+		s1, c1 = nadd(s1, c1, xs[i+1])
+		s2, c2 = nadd(s2, c2, xs[i+2])
+		s3, c3 = nadd(s3, c3, xs[i+3])
+		s4, c4 = nadd(s4, c4, xs[i+4])
+		s5, c5 = nadd(s5, c5, xs[i+5])
+		s6, c6 = nadd(s6, c6, xs[i+6])
+		s7, c7 = nadd(s7, c7, xs[i+7])
+	}
+	if i < n {
+		s0, c0 = nadd(s0, c0, xs[i])
+	}
+	if i+1 < n {
+		s1, c1 = nadd(s1, c1, xs[i+1])
+	}
+	if i+2 < n {
+		s2, c2 = nadd(s2, c2, xs[i+2])
+	}
+	if i+3 < n {
+		s3, c3 = nadd(s3, c3, xs[i+3])
+	}
+	if i+4 < n {
+		s4, c4 = nadd(s4, c4, xs[i+4])
+	}
+	if i+5 < n {
+		s5, c5 = nadd(s5, c5, xs[i+5])
+	}
+	if i+6 < n {
+		s6, c6 = nadd(s6, c6, xs[i+6])
+	}
+	s, c := nmerge(s0, c0, s1, c1)
+	s, c = nmerge(s, c, s2, c2)
+	s, c = nmerge(s, c, s3, c3)
+	s, c = nmerge(s, c, s4, c4)
+	s, c = nmerge(s, c, s5, c5)
+	s, c = nmerge(s, c, s6, c6)
+	return nmerge(s, c, s7, c7)
+}
+
+// laneBlock is the base-case block length of LanePairwise, matching
+// sum.Pairwise's cache-friendly recursion cutoff.
+const laneBlock = 64
+
+// LanePairwise sums xs with a balanced recursive split (the same
+// splitting rule as sum.Pairwise) whose base-case blocks are summed with
+// the k-lane ST kernel instead of a serial loop. k = 1 reproduces
+// sum.Pairwise exactly; wider k is a different (equally deterministic)
+// plan. Panics unless ValidLaneWidth(k).
+func LanePairwise(xs []float64, k int) float64 {
+	if !ValidLaneWidth(k) {
+		panic(badLaneWidth(k))
+	}
+	return lanePairwise(xs, k)
+}
+
+func lanePairwise(xs []float64, k int) float64 {
+	if len(xs) <= laneBlock {
+		return LaneST(xs, k)
+	}
+	half := len(xs) / 2
+	return lanePairwise(xs[:half], k) + lanePairwise(xs[half:], k)
+}

@@ -1,6 +1,9 @@
 package parallel
 
 import (
+	"fmt"
+
+	"repro/internal/kernel"
 	"repro/internal/sum"
 	"repro/internal/superacc"
 )
@@ -8,14 +11,18 @@ import (
 // Sum computes the sum of xs with the named algorithm on the parallel
 // engine. For every algorithm the result is bitwise-identical across
 // worker counts and equal to SeqSum with the same Config: both execute
-// the same plan (fixed chunks, left-to-right chunk folds under the
-// algorithm's monoid, fixed balanced merge tree).
+// the same plan (fixed chunks, fixed intra-chunk fold, fixed balanced
+// merge tree).
 //
-// The chunk kernels use the algorithms' native streaming accumulators
-// where those are bitwise-equivalent to the monoid fold (ST, K, N, PR —
-// verified by the package tests); CP chunks run the monoid fold directly
-// because dd.AddFloat64 and dd.Add are not guaranteed to round
-// identically at the last bit.
+// With the default LaneWidth of 1 the chunk folds are the devirtualized
+// reference-order kernels of internal/kernel, bit-identical to the
+// algorithms' monoid folds (verified by the kernel and package tests);
+// CP chunks run the monoid fold kernel directly because dd.AddFloat64
+// and dd.Add are not guaranteed to round identically at the last bit.
+// With LaneWidth > 1 the ST, PW, K, and N chunk folds switch to the
+// fixed-width lane kernels — a different, equally deterministic plan
+// (see Config.LaneWidth); CP and PR have no lane form and ignore the
+// width.
 func Sum(alg sum.Algorithm, xs []float64, cfg Config) float64 {
 	return algSum(alg, xs, cfg, false)
 }
@@ -27,11 +34,30 @@ func SeqSum(alg sum.Algorithm, xs []float64, cfg Config) float64 {
 }
 
 func algSum(alg sum.Algorithm, xs []float64, cfg Config, seq bool) float64 {
+	lw := cfg.LaneWidth
+	if lw <= 0 {
+		lw = 1
+	}
+	if !kernel.ValidLaneWidth(lw) {
+		panic(fmt.Sprintf("parallel: invalid LaneWidth %d (want 1, 2, 4, or 8)", lw))
+	}
 	switch alg {
-	case sum.StandardAlg, sum.PairwiseAlg:
+	case sum.StandardAlg:
 		st, ok := mapReduce(len(xs), cfg, seq,
-			func(lo, hi int) float64 { return sum.Standard(xs[lo:hi]) },
+			func(lo, hi int) float64 { return kernel.LaneST(xs[lo:hi], lw) },
 			sum.STMonoid{}.Merge)
+		if !ok {
+			return 0
+		}
+		return st
+	case sum.PairwiseAlg:
+		// LaneWidth 1 keeps the legacy plan (PW chunks fold exactly like
+		// ST chunks); wider lanes use the blocked pairwise lane kernel.
+		chunk := func(lo, hi int) float64 { return kernel.ST(xs[lo:hi]) }
+		if lw > 1 {
+			chunk = func(lo, hi int) float64 { return kernel.LanePairwise(xs[lo:hi], lw) }
+		}
+		st, ok := mapReduce(len(xs), cfg, seq, chunk, sum.STMonoid{}.Merge)
 		if !ok {
 			return 0
 		}
@@ -39,9 +65,8 @@ func algSum(alg sum.Algorithm, xs []float64, cfg Config, seq bool) float64 {
 	case sum.KahanAlg:
 		st, ok := mapReduce(len(xs), cfg, seq,
 			func(lo, hi int) sum.KState {
-				var acc sum.KahanAcc
-				sum.AddSlice(&acc, xs[lo:hi])
-				return acc.State()
+				s, c := kernel.LaneKahan(xs[lo:hi], lw)
+				return sum.KState{S: s, C: c}
 			},
 			sum.KahanMonoid{}.Merge)
 		if !ok {
@@ -51,9 +76,8 @@ func algSum(alg sum.Algorithm, xs []float64, cfg Config, seq bool) float64 {
 	case sum.NeumaierAlg:
 		st, ok := mapReduce(len(xs), cfg, seq,
 			func(lo, hi int) sum.NState {
-				var acc sum.NeumaierAcc
-				sum.AddSlice(&acc, xs[lo:hi])
-				return acc.State()
+				s, c := kernel.LaneNeumaier(xs[lo:hi], lw)
+				return sum.NState{S: s, C: c}
 			},
 			sum.NeumaierMonoid{}.Merge)
 		if !ok {
@@ -102,7 +126,7 @@ func ExactSum(xs []float64, cfg Config) float64 {
 	st, ok := MapReduce(len(xs), cfg,
 		func(lo, hi int) *superacc.Acc {
 			a := superacc.New()
-			a.AddSlice(xs[lo:hi])
+			kernel.Exact(a, xs[lo:hi])
 			return a
 		},
 		func(a, b *superacc.Acc) *superacc.Acc {

@@ -56,6 +56,17 @@ type Config struct {
 	// DefaultChunkSize. It is part of the determinism contract: two runs
 	// agree bitwise only if they use the same ChunkSize.
 	ChunkSize int
+	// LaneWidth is the number of interleaved accumulator lanes each
+	// chunk fold runs with (1, 2, 4, or 8; <= 0 selects 1, the legacy
+	// single-accumulator bits). Widths > 1 break the serial
+	// floating-point dependency chain inside each chunk with the
+	// internal/kernel lane kernels: element i of a chunk feeds lane
+	// i mod LaneWidth and lanes merge in a fixed order, so the result is
+	// still bitwise-identical across worker counts and runs — but, like
+	// ChunkSize, the lane width is part of the plan: two runs agree
+	// bitwise only if they use the same LaneWidth. Lane kernels exist
+	// for ST, PW, K, and N; CP and PR chunk folds ignore LaneWidth.
+	LaneWidth int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = DefaultChunkSize
+	}
+	if c.LaneWidth <= 0 {
+		c.LaneWidth = 1
 	}
 	return c
 }
@@ -211,8 +225,15 @@ func SeqReduce[S any](m reduce.Monoid[S], xs []float64, cfg Config) float64 {
 }
 
 // foldChunk reduces one chunk left-to-right — the fixed intra-chunk
-// order leg of the determinism contract.
+// order leg of the determinism contract. Monoids that implement
+// reduce.SliceFolder run their devirtualized batch kernel instead of the
+// generic Leaf/Merge loop; the bits are identical. (Generic Reduce
+// ignores Config.LaneWidth — lane plans exist only for the named
+// algorithms in Sum, which have hand-specialized lane kernels.)
 func foldChunk[S any](m reduce.Monoid[S], xs []float64) S {
+	if sf, ok := m.(reduce.SliceFolder[S]); ok {
+		return sf.FoldSlice(xs)
+	}
 	acc := m.Leaf(xs[0])
 	for _, x := range xs[1:] {
 		acc = m.Merge(acc, m.Leaf(x))

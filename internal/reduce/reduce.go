@@ -56,10 +56,28 @@ func Boxed[S any](name string, m Monoid[S]) Op {
 	return boxed[S]{name: name, m: m}
 }
 
-// Fold reduces xs left-to-right (a fully unbalanced tree) under m.
+// SliceFolder is the optional batch fast path a Monoid may implement.
+// FoldSlice must return exactly the state a reference left-to-right fold
+// would build — Leaf(xs[0]) merged in order with Leaf of every later
+// element, or the Leaf(0) identity state for an empty slice — bit for
+// bit. Implementations are hand-specialized, devirtualized loops (see
+// internal/kernel); their bitwise equivalence to the reference fold is
+// pinned by the kernel package's exhaustive tests, which is what lets
+// Fold, the parallel chunk folds, and the tree executors substitute them
+// without changing any result.
+type SliceFolder[S any] interface {
+	FoldSlice(xs []float64) S
+}
+
+// Fold reduces xs left-to-right (a fully unbalanced tree) under m. When
+// m implements SliceFolder the devirtualized batch loop runs instead of
+// the generic Leaf/Merge-per-element loop; the bits are identical.
 func Fold[S any](m Monoid[S], xs []float64) float64 {
 	if len(xs) == 0 {
 		return m.Finalize(m.Leaf(0))
+	}
+	if sf, ok := m.(SliceFolder[S]); ok {
+		return m.Finalize(sf.FoldSlice(xs))
 	}
 	acc := m.Leaf(xs[0])
 	for _, x := range xs[1:] {

@@ -116,13 +116,22 @@ func (p Profile) Merge(q Profile) Profile {
 // and set the NonFinite poison flag instead of entering the running
 // sums, which would silently turn Cond into garbage.
 func (p Profile) Add(x float64) Profile {
+	p.observe(x)
+	return p
+}
+
+// observe is the in-place sampling step shared by Add and the ProfileOf
+// batch loop; keeping it pointer-receiver lets the hot profiling pass
+// skip the two ~90-byte Profile copies per element that the value-
+// semantics Add pays.
+func (p *Profile) observe(x float64) {
 	p.N++
 	if x == 0 {
-		return p
+		return
 	}
 	if math.IsNaN(x) || math.IsInf(x, 0) {
 		p.NonFinite = true
-		return p
+		return
 	}
 	p.Sum = p.Sum.AddFloat64(x)
 	p.SumAbs = p.SumAbs.AddFloat64(math.Abs(x))
@@ -143,14 +152,15 @@ func (p Profile) Add(x float64) Profile {
 	} else {
 		p.Neg++
 	}
-	return p
 }
 
-// ProfileOf profiles a slice in one streaming pass.
+// ProfileOf profiles a slice in one streaming pass. The loop mutates one
+// local profile in place (see observe), so it is bit-identical to — and
+// markedly faster than — folding Profile.Add over the slice.
 func ProfileOf(xs []float64) Profile {
 	var p Profile
 	for _, x := range xs {
-		p = p.Add(x)
+		p.observe(x)
 	}
 	return p
 }

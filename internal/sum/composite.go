@@ -1,6 +1,9 @@
 package sum
 
-import "repro/internal/dd"
+import (
+	"repro/internal/dd"
+	"repro/internal/kernel"
+)
 
 // Composite computes the composite-precision sum (CP): the running sum
 // is an unevaluated (value, error) pair — effectively double-double —
@@ -45,3 +48,8 @@ func (CPMonoid) Merge(a, b dd.DD) dd.DD { return a.Add(b) }
 
 // Finalize folds the error term into the value at the root.
 func (CPMonoid) Finalize(s dd.DD) float64 { return s.Float64() }
+
+// FoldSlice implements reduce.SliceFolder: the devirtualized batch loop,
+// bit-identical to the reference left-to-right fold (every step the full
+// accurate dd.Add, exactly as Merge over Leafs performs it).
+func (CPMonoid) FoldSlice(xs []float64) dd.DD { return kernel.CP(xs) }

@@ -1,5 +1,7 @@
 package sum
 
+import "repro/internal/kernel"
+
 // Kahan computes the classic compensated sum (K): the estimated rounding
 // error of each partial sum is folded back into the next addend. The
 // final pending correction is dropped, exactly as in Kahan's original
@@ -64,3 +66,11 @@ func (KahanMonoid) Merge(a, b KState) KState {
 // Finalize returns the root sum; the residual correction is dropped,
 // matching Kahan's classic formulation.
 func (KahanMonoid) Finalize(s KState) float64 { return s.S }
+
+// FoldSlice implements reduce.SliceFolder: the devirtualized batch loop,
+// bit-identical to the reference left-to-right fold (and to streaming
+// KahanAcc accumulation).
+func (KahanMonoid) FoldSlice(xs []float64) KState {
+	s, c := kernel.Kahan(xs)
+	return KState{S: s, C: c}
+}

@@ -1,6 +1,9 @@
 package sum
 
-import "repro/internal/fpu"
+import (
+	"repro/internal/fpu"
+	"repro/internal/kernel"
+)
 
 // Neumaier computes Neumaier's improved compensated sum: like Kahan,
 // but the compensation step branches on operand magnitude so the error
@@ -64,3 +67,11 @@ func (NeumaierMonoid) Merge(a, b NState) NState {
 
 // Finalize applies the accumulated correction once, at the root.
 func (NeumaierMonoid) Finalize(s NState) float64 { return s.S + s.C }
+
+// FoldSlice implements reduce.SliceFolder: the devirtualized batch loop,
+// bit-identical to the reference left-to-right fold (and to streaming
+// NeumaierAcc accumulation).
+func (NeumaierMonoid) FoldSlice(xs []float64) NState {
+	s, c := kernel.Neumaier(xs)
+	return NState{S: s, C: c}
+}

@@ -1,0 +1,42 @@
+package sum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSortedBufMatchesUnbuffered pins the scratch-buffer sorted sums
+// bitwise against the allocating spellings, confirms the input is never
+// modified, and confirms an adequate scratch buffer removes the
+// allocation.
+func TestSortedBufMatchesUnbuffered(t *testing.T) {
+	xs := gen.Spec{N: 1000, Cond: 1e8, DynRange: 30, Seed: 11}.Generate()
+	orig := append([]float64(nil), xs...)
+	scratch := make([]float64, len(xs))
+
+	if got, want := SortedAscendingBuf(xs, scratch), SortedAscending(xs); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("SortedAscendingBuf = %x, SortedAscending = %x", math.Float64bits(got), math.Float64bits(want))
+	}
+	if got, want := SortedDescendingBuf(xs, scratch), SortedDescending(xs); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("SortedDescendingBuf = %x, SortedDescending = %x", math.Float64bits(got), math.Float64bits(want))
+	}
+	// A too-small scratch buffer must fall back to allocating, not panic
+	// or truncate.
+	if got, want := SortedAscendingBuf(xs, scratch[:0:4]), SortedAscending(xs); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("small-scratch SortedAscendingBuf = %x, want %x", math.Float64bits(got), math.Float64bits(want))
+	}
+	for i := range xs {
+		if math.Float64bits(xs[i]) != math.Float64bits(orig[i]) {
+			t.Fatalf("input modified at %d: %x -> %x", i, math.Float64bits(orig[i]), math.Float64bits(xs[i]))
+		}
+	}
+
+	var sink float64
+	allocs := testing.AllocsPerRun(20, func() { sink = SortedDescendingBuf(xs, scratch) })
+	if allocs != 0 {
+		t.Errorf("SortedDescendingBuf with adequate scratch: %v allocs per run, want 0", allocs)
+	}
+	_ = sink
+}

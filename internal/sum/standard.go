@@ -1,6 +1,10 @@
 package sum
 
-import "sort"
+import (
+	"slices"
+
+	"repro/internal/kernel"
+)
 
 // Standard computes the naive left-to-right iterative sum (ST).
 func Standard(xs []float64) float64 {
@@ -28,20 +32,60 @@ func Pairwise(xs []float64) float64 {
 // for same-sign data (Section III-A of the paper). The input is not
 // modified.
 func SortedAscending(xs []float64) float64 {
-	return sortedSum(xs, func(a, b float64) bool { return abs(a) < abs(b) })
+	return sortedSum(xs, nil, false)
 }
 
 // SortedDescending sums |x|-descending — the conventional order for
 // mixed-sign data. The input is not modified.
 func SortedDescending(xs []float64) float64 {
-	return sortedSum(xs, func(a, b float64) bool { return abs(a) > abs(b) })
+	return sortedSum(xs, nil, true)
 }
 
-func sortedSum(xs []float64, less func(a, b float64) bool) float64 {
-	cp := make([]float64, len(xs))
+// SortedAscendingBuf is SortedAscending with a caller-provided scratch
+// buffer: when cap(scratch) >= len(xs) the sort works in scratch and the
+// call does not allocate, so repeated profiling passes can reuse one
+// buffer. The input is not modified.
+func SortedAscendingBuf(xs, scratch []float64) float64 {
+	return sortedSum(xs, scratch, false)
+}
+
+// SortedDescendingBuf is SortedDescending with a caller-provided scratch
+// buffer (see SortedAscendingBuf).
+func SortedDescendingBuf(xs, scratch []float64) float64 {
+	return sortedSum(xs, scratch, true)
+}
+
+// sortedSum copies xs (into scratch when it is large enough), sorts the
+// copy by |x| with slices.SortFunc — a concrete-typed sort, unlike the
+// reflection-based sort.Slice with a closure per comparison it replaces
+// — and sums left-to-right.
+func sortedSum(xs, scratch []float64, desc bool) float64 {
+	var cp []float64
+	if cap(scratch) >= len(xs) {
+		cp = scratch[:len(xs)]
+	} else {
+		cp = make([]float64, len(xs))
+	}
 	copy(cp, xs)
-	sort.Slice(cp, func(i, j int) bool { return less(cp[i], cp[j]) })
+	if desc {
+		slices.SortFunc(cp, func(a, b float64) int { return cmpAbs(b, a) })
+	} else {
+		slices.SortFunc(cp, cmpAbs)
+	}
 	return Standard(cp)
+}
+
+// cmpAbs orders by |a| vs |b| (NaN compares equal to everything, as the
+// old sort.Slice comparator had it).
+func cmpAbs(a, b float64) int {
+	aa, ab := abs(a), abs(b)
+	switch {
+	case aa < ab:
+		return -1
+	case aa > ab:
+		return 1
+	}
+	return 0
 }
 
 func abs(x float64) float64 {
@@ -75,3 +119,7 @@ func (STMonoid) Merge(a, b float64) float64 { return a + b }
 
 // Finalize returns the root sum.
 func (STMonoid) Finalize(s float64) float64 { return s }
+
+// FoldSlice implements reduce.SliceFolder: the devirtualized batch loop,
+// bit-identical to the reference left-to-right fold.
+func (STMonoid) FoldSlice(xs []float64) float64 { return kernel.ST(xs) }

@@ -47,8 +47,21 @@ func (a *Acc) Reset() { *a = Acc{} }
 // Add deposits x exactly. NaN or ±Inf poisons the accumulator: Float64
 // will return NaN from then on.
 func (a *Acc) Add(x float64) {
-	if x == 0 {
+	if !a.deposit(x) {
 		return
+	}
+	a.pending++
+	if a.pending >= normalizeEvery {
+		a.normalize()
+	}
+}
+
+// deposit performs the limb work of Add without the carry bookkeeping;
+// it reports whether x actually landed in the limbs (zeros contribute
+// nothing; non-finite values only set the poison flag).
+func (a *Acc) deposit(x float64) bool {
+	if x == 0 {
+		return false
 	}
 	bits := math.Float64bits(x)
 	neg := bits>>63 == 1
@@ -58,7 +71,7 @@ func (a *Acc) Add(x float64) {
 	switch expField {
 	case 0x7ff:
 		a.nan = true
-		return
+		return false
 	case 0:
 		// Subnormal: value = mant * 2^bias.
 		pos = 0
@@ -87,16 +100,32 @@ func (a *Acc) Add(x float64) {
 		a.limbs[limb+1] += mid
 		a.limbs[limb+2] += hi
 	}
-	a.pending++
-	if a.pending >= normalizeEvery {
-		a.normalize()
-	}
+	return true
 }
 
-// AddSlice deposits every element of xs.
+// AddSlice deposits every element of xs with the batch kernel: the
+// pending-deposit counter and the carry-pass check are hoisted out of
+// the element loop and run once per batch. Every deposit is exact, so
+// the accumulated value is bit-identical to element-wise Add.
 func (a *Acc) AddSlice(xs []float64) {
-	for _, x := range xs {
-		a.Add(x)
+	for len(xs) > 0 {
+		batch := xs
+		// Cap each batch at the remaining carry budget so limb magnitudes
+		// stay in range even without per-element checks.
+		if budget := normalizeEvery - a.pending; len(batch) > budget {
+			batch = xs[:budget]
+		}
+		n := 0
+		for _, x := range batch {
+			if a.deposit(x) {
+				n++
+			}
+		}
+		a.pending += n
+		if a.pending >= normalizeEvery {
+			a.normalize()
+		}
+		xs = xs[len(batch):]
 	}
 }
 

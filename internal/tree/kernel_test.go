@@ -1,0 +1,90 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dd"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/reduce"
+	"repro/internal/sum"
+)
+
+// noFold strips a monoid of its reduce.SliceFolder fast path, forcing
+// the executor down the generic Leaf/Merge-per-element loop — the
+// reference the kernel-backed executor must match bit for bit.
+type noFold[S any] struct{ m reduce.Monoid[S] }
+
+func (w noFold[S]) Leaf(x float64) S     { return w.m.Leaf(x) }
+func (w noFold[S]) Merge(a, b S) S       { return w.m.Merge(a, b) }
+func (w noFold[S]) Finalize(s S) float64 { return w.m.Finalize(s) }
+
+// TestExecutorKernelEquivalence runs every shape over shared plans with
+// the kernel fast path on and off: identical bits are required for every
+// algorithm, shape, and operand permutation. This pins the unbalanced
+// fold, the blocked leaf runs, and the fused knomial first level.
+func TestExecutorKernelEquivalence(t *testing.T) {
+	check := func(t *testing.T, m interface{}, xs []float64) {
+		rng := fpu.NewRNG(1234)
+		for _, shape := range Shapes {
+			for trial := 0; trial < 5; trial++ {
+				p := NewPlan(shape, len(xs), rng)
+				p.Blocks = 16
+				var fast, ref float64
+				switch mm := m.(type) {
+				case reduce.Monoid[float64]:
+					fast = NewExecutor[float64](mm).Run(p, xs)
+					ref = NewExecutor[float64](noFold[float64]{mm}).Run(p, xs)
+				case reduce.Monoid[sum.KState]:
+					fast = NewExecutor[sum.KState](mm).Run(p, xs)
+					ref = NewExecutor[sum.KState](noFold[sum.KState]{mm}).Run(p, xs)
+				case reduce.Monoid[sum.NState]:
+					fast = NewExecutor[sum.NState](mm).Run(p, xs)
+					ref = NewExecutor[sum.NState](noFold[sum.NState]{mm}).Run(p, xs)
+				case reduce.Monoid[dd.DD]:
+					fast = NewExecutor[dd.DD](mm).Run(p, xs)
+					ref = NewExecutor[dd.DD](noFold[dd.DD]{mm}).Run(p, xs)
+				default:
+					t.Fatalf("unhandled monoid %T", m)
+				}
+				if math.Float64bits(fast) != math.Float64bits(ref) {
+					t.Errorf("%T/%v/n=%d: kernel path %x, generic path %x",
+						m, shape, len(xs), math.Float64bits(fast), math.Float64bits(ref))
+				}
+			}
+		}
+	}
+	// Sizes around the blocked-shape trailing-block edge (n=17, 16
+	// blocks), the knomial radix, and a large ill-conditioned set.
+	for _, n := range []int{2, 3, 4, 5, 16, 17, 31, 64, 257, 2048} {
+		xs := gen.Spec{N: n, Cond: 1e6, DynRange: 24, Seed: uint64(n)}.Generate()
+		for _, m := range []interface{}{
+			reduce.Monoid[float64](sum.STMonoid{}),
+			reduce.Monoid[sum.KState](sum.KahanMonoid{}),
+			reduce.Monoid[sum.NState](sum.NeumaierMonoid{}),
+			reduce.Monoid[dd.DD](sum.CPMonoid{}),
+		} {
+			t.Run(fmt.Sprintf("n=%d/%T", n, m), func(t *testing.T) { check(t, m, xs) })
+		}
+	}
+}
+
+// TestExecutorKernelAllocs pins the executor's zero-allocation steady
+// state with the kernel fast paths active.
+func TestExecutorKernelAllocs(t *testing.T) {
+	xs := gen.Spec{N: 1027, Cond: 1e4, DynRange: 16, Seed: 3}.Generate()
+	rng := fpu.NewRNG(77)
+	for _, shape := range []Shape{Unbalanced, Blocked, Knomial} {
+		ex := NewExecutor[sum.KState](sum.KahanMonoid{})
+		p := NewPlan(shape, len(xs), rng)
+		ex.Run(p, xs) // warm the buffers
+		var sink float64
+		allocs := testing.AllocsPerRun(50, func() { sink = ex.Run(p, xs) })
+		if allocs != 0 {
+			t.Errorf("%v: %v allocs per run in steady state, want 0", shape, allocs)
+		}
+		_ = sink
+	}
+}

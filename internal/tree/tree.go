@@ -189,14 +189,24 @@ func (p Plan) blocks() int {
 // its internal buffers so repeated runs (the paper's 100–1000 trees per
 // data point) do not allocate.
 type Executor[S any] struct {
-	m      reduce.Monoid[S]
+	m reduce.Monoid[S]
+	// sf is m's devirtualized batch fold when it implements
+	// reduce.SliceFolder (nil otherwise). Serial leaf runs — the
+	// unbalanced chain, blocked-shape block folds, and the knomial
+	// first level — substitute it for the generic Leaf/Merge loop; the
+	// bits are identical by the SliceFolder contract.
+	sf     reduce.SliceFolder[S]
 	vals   []float64
 	states []S
 }
 
 // NewExecutor returns an executor for monoid m.
 func NewExecutor[S any](m reduce.Monoid[S]) *Executor[S] {
-	return &Executor[S]{m: m}
+	e := &Executor[S]{m: m}
+	if sf, ok := m.(reduce.SliceFolder[S]); ok {
+		e.sf = sf
+	}
+	return e
 }
 
 // Run reduces xs under plan p and returns the root value.
@@ -237,6 +247,9 @@ func (e *Executor[S]) runShape(p Plan, vals []float64) float64 {
 	}
 	switch p.Shape {
 	case Unbalanced:
+		if e.sf != nil {
+			return e.m.Finalize(e.sf.FoldSlice(vals))
+		}
 		return reduce.Fold(e.m, vals)
 	case Balanced:
 		if cap(e.states) < len(vals) {
@@ -274,6 +287,12 @@ func (e *Executor[S]) runBlocked(p Plan, vals []float64) float64 {
 		if hi > n {
 			hi = n
 		}
+		if e.sf != nil {
+			// A block's serial leaf run is exactly the reference fold of
+			// its values — run the batch kernel instead.
+			partials[i] = e.sf.FoldSlice(vals[lo:hi])
+			continue
+		}
 		st := e.m.Leaf(vals[lo])
 		for _, x := range vals[lo+1 : hi] {
 			st = e.m.Merge(st, e.m.Leaf(x))
@@ -305,8 +324,24 @@ func (e *Executor[S]) runKnomial(p Plan, vals []float64) float64 {
 		e.states = make([]S, n)
 	}
 	level := e.states[:n]
-	for i, x := range vals {
-		level[i] = e.m.Leaf(x)
+	if e.sf != nil && n > 1 {
+		// The first merge level folds each radix group's leaves serially
+		// — exactly the reference fold of that group's values — so it
+		// fuses with leaf lifting into one batch-kernel pass.
+		out := 0
+		for i := 0; i < n; i += k {
+			hi := i + k
+			if hi > n {
+				hi = n
+			}
+			level[out] = e.sf.FoldSlice(vals[i:hi])
+			out++
+		}
+		n = out
+	} else {
+		for i, x := range vals {
+			level[i] = e.m.Leaf(x)
+		}
 	}
 	for n > 1 {
 		out := 0

@@ -80,6 +80,13 @@ func WithWorkers(n int) Option { return core.WithWorkers(n) }
 // they use the same chunk size.
 func WithChunkSize(c int) Option { return core.WithChunkSize(c) }
 
+// WithLaneWidth sets the engine's fixed accumulator-lane count (1, 2, 4,
+// or 8) and enables the engine. Lane-parallel chunk folds break the
+// serial floating-point dependency chain for speed and remain
+// bitwise-identical across worker counts and runs; the lane width itself
+// — like the chunk size — is part of the reproducibility contract.
+func WithLaneWidth(k int) Option { return core.WithLaneWidth(k) }
+
 // New returns a Runtime that keeps the relative run-to-run variability
 // of its reductions within tolerance; 0 demands bitwise reproducibility.
 func New(tolerance float64, opts ...Option) *Runtime { return core.New(tolerance, opts...) }
