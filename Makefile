@@ -19,17 +19,22 @@ verify:
 	$(GO) test -race ./...
 	$(GO) test -run 'Equivalence|Replay|Fused|Allocs|PlanSource|WorkerCounts' ./internal/tree ./internal/grid ./internal/metrics
 	$(GO) test -run 'Equivalence|Allocs|Lane|NonFinite|BatchDeposit' ./internal/kernel ./internal/parallel ./internal/selector
+	$(GO) test -run 'Fused|SpecSum|Cache|SelectAndSum|ProfileOp|Associativity|ArbitrarySplits|Clamp|Nearest|CSum' ./internal/selector ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem
 
-# bench-json records the fused-vs-legacy sweep benchmarks and the batch
-# kernel benchmarks as machine-readable artifacts (compared across PRs,
-# e.g. `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`).
+# bench-json records the fused-vs-legacy sweep benchmarks, the batch
+# kernel benchmarks, and the speculative selector benchmarks (two-pass
+# select-then-sum vs fused single pass vs fused + decision cache, plus
+# the isolated Decide step with cache hit rates) as machine-readable
+# artifacts (compared across PRs, e.g.
+# `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`).
 bench-json:
 	$(GO) test ./internal/grid -run '^$$' -bench Sweep -benchmem | $(GO) run ./cmd/benchjson > BENCH_sweep.json
 	$(GO) test ./internal/kernel -run '^$$' -bench . -benchmem | $(GO) run ./cmd/benchjson > BENCH_kernels.json
-	@cat BENCH_sweep.json BENCH_kernels.json
+	$(GO) test ./internal/selector -run '^$$' -bench 'SelectSum|Decide' -benchmem | $(GO) run ./cmd/benchjson > BENCH_selector.json
+	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

@@ -35,6 +35,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "hit-rate",
+	// "MB/s") keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the full document.
@@ -209,13 +212,18 @@ func parseResult(line string) (Result, bool) {
 		if err != nil {
 			return Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64, 1)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	if r.NsPerOp == 0 && r.Runs == 0 {

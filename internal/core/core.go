@@ -82,6 +82,24 @@ func WithLaneWidth(k int) Option {
 	}
 }
 
+// WithDecisionCache attaches a quantized decision cache of the given
+// capacity (entries; <= 0 selects the default 4096) to the runtime's
+// selector: selection decisions are memoized per profile bucket, so
+// steady-state traffic skips policy evaluation. Decisions are computed
+// from each bucket's conservative canonical representative — a pure
+// function of the bucket — so results stay deterministic and
+// independent of request order or cache capacity; see
+// selector.DecisionCache for the exact semantics.
+func WithDecisionCache(capacity int) Option {
+	return WithDecisionCacheConfig(selector.CacheConfig{Capacity: capacity})
+}
+
+// WithDecisionCacheConfig is WithDecisionCache with full control over
+// the cache geometry (capacity and shard count for concurrent callers).
+func WithDecisionCacheConfig(cfg selector.CacheConfig) Option {
+	return func(rt *Runtime) { rt.sel.Cache = selector.NewDecisionCache(cfg) }
+}
+
 // New returns a Runtime that keeps the relative run-to-run variability
 // of its reductions within tolerance (0 demands bitwise reproducibility).
 func New(tolerance float64, opts ...Option) *Runtime {
@@ -98,6 +116,15 @@ func (rt *Runtime) Selector() *selector.Selector { return rt.sel }
 
 // Tolerance returns the configured variability tolerance.
 func (rt *Runtime) Tolerance() float64 { return rt.sel.Req.Tolerance }
+
+// CacheStats snapshots the decision cache's hit/miss/occupancy counters;
+// ok is false when no cache is attached (see WithDecisionCache).
+func (rt *Runtime) CacheStats() (selector.CacheStats, bool) {
+	if rt.sel.Cache == nil {
+		return selector.CacheStats{}, false
+	}
+	return rt.sel.Cache.Stats(), true
+}
 
 // Report describes one adaptive reduction: what was profiled, what was
 // chosen, and what the policy predicted.
@@ -132,26 +159,40 @@ func (r Report) String() string {
 // the tolerance (selector.TunePR) — the paper's precision-tuning idea
 // applied to the one algorithm with a precision knob.
 //
+// The pass is fused and speculative (selector.SelectAndSum): profiling
+// already yields the ST and Neumaier answers, so those selections never
+// read xs a second time, and every result is bit-identical to the
+// two-pass profile-then-sum route.
+//
 // With the engine enabled (WithWorkers/WithChunkSize) and an input
 // spanning at least two chunks, both the profiling pass and the sum run
 // on the deterministic chunked worker pool; the result is bitwise-stable
-// across worker counts.
+// across worker counts. Lane widths above 1 fall back to the two-pass
+// engine route (the fused chunk kernel is a single-lane plan).
 func (rt *Runtime) Sum(xs []float64) (float64, Report) {
 	if rt.engineFor(len(xs)) {
+		if v, sel, ok := rt.sel.SelectAndSumParallel(xs, rt.par); ok {
+			return v, reportOf(sel)
+		}
 		return rt.sumParallel(xs)
 	}
-	prof := selector.ProfileOf(xs)
-	if prof.NonFinite {
-		return rt.nonFiniteSum(xs, prof)
+	v, sel := rt.sel.SelectAndSum(xs)
+	return v, reportOf(sel)
+}
+
+// reportOf translates a fused-path selection into the runtime's report.
+func reportOf(sel selector.Selection) Report {
+	rep := Report{
+		Algorithm: sel.Alg,
+		Profile:   sel.Profile,
+		Predicted: sel.Predicted,
+		PRConfig:  sel.PR,
+		NonFinite: sel.NonFinite,
 	}
-	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
-	rep := Report{Algorithm: alg, Profile: prof, Predicted: pred}
-	if alg == sum.PreroundedAlg {
-		cfg := selector.TunePR(prof, rt.sel.Req)
-		rep.PRConfig = &cfg
-		return sum.PreroundedWith(cfg, xs), rep
+	if sel.NonFinite {
+		rep.Predicted = math.Inf(1)
 	}
-	return alg.Sum(xs), rep
+	return rep
 }
 
 // engineFor reports whether the parallel engine should run a reduction
@@ -168,20 +209,21 @@ func (rt *Runtime) engineFor(n int) bool {
 	return n > cs
 }
 
-// sumParallel is Sum on the chunked engine.
+// sumParallel is the two-pass Sum on the chunked engine, kept for lane
+// widths the fused chunk kernel does not cover.
 func (rt *Runtime) sumParallel(xs []float64) (float64, Report) {
 	prof := selector.ProfileOfParallel(xs, rt.par)
 	if prof.NonFinite {
 		return rt.nonFiniteSum(xs, prof)
 	}
-	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
-	rep := Report{Algorithm: alg, Profile: prof, Predicted: pred}
-	if alg == sum.PreroundedAlg {
-		cfg := selector.TunePR(prof, rt.sel.Req)
+	d := rt.sel.Decide(prof)
+	rep := Report{Algorithm: d.Alg, Profile: prof, Predicted: d.Predicted}
+	if d.Alg == sum.PreroundedAlg {
+		cfg := d.PR
 		rep.PRConfig = &cfg
 		return parallel.SumPR(cfg, xs, rt.par), rep
 	}
-	return parallel.Sum(alg, xs, rt.par), rep
+	return parallel.Sum(d.Alg, xs, rt.par), rep
 }
 
 // nonFiniteSum is the fallback for NaN/±Inf-poisoned inputs: the
@@ -208,9 +250,9 @@ func (rt *Runtime) Reduce(p tree.Plan, xs []float64) (float64, Report) {
 		return v, Report{Algorithm: sum.StandardAlg, Profile: prof,
 			Predicted: math.Inf(1), NonFinite: true}
 	}
-	alg, pred := rt.sel.Policy.Select(prof, rt.sel.Req)
-	v := selector.ReduceTreeWith(alg, p, xs)
-	return v, Report{Algorithm: alg, Profile: prof, Predicted: pred}
+	d := rt.sel.Decide(prof)
+	v := selector.ReduceTreeWith(d.Alg, p, xs)
+	return v, Report{Algorithm: d.Alg, Profile: prof, Predicted: d.Predicted}
 }
 
 // BlockReport records the per-block decision of a hierarchical sum.

@@ -86,6 +86,19 @@ func Exponent(x float64) int {
 	return math.Ilogb(x)
 }
 
+// FiniteExponent returns the unbiased binary exponent of x like Exponent,
+// but only for finite nonzero x (the caller has already screened zeros and
+// non-finite values, as the profiling loops do). Normal values decode the
+// exponent field directly — one shift and a subtract instead of the
+// Ilogb call chain — and only subnormals fall back to Ilogb.
+func FiniteExponent(x float64) int {
+	e := int(math.Float64bits(x) >> MantissaBits & 0x7ff)
+	if e == 0 {
+		return math.Ilogb(x) // subnormal
+	}
+	return e - 1023
+}
+
 // Ulp returns the unit in the last place of x: the gap between x and the
 // next representable value away from zero. Ulp(0) returns the smallest
 // subnormal.

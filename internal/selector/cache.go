@@ -1,0 +1,326 @@
+package selector
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// DecisionCache memoizes selection decisions keyed by a quantized
+// profile, so steady-state traffic whose data keeps the same rough
+// shape (n, condition number, dynamic range) skips policy evaluation —
+// the table scan of a CalibratedPolicy, or HeuristicPolicy's log/sqrt
+// chain — entirely.
+//
+// Soundness rests on one rule: a cached decision is NEVER the answer
+// the policy gave "some earlier profile that happened to land in this
+// bucket". On a miss the cache evaluates the policy on the bucket's
+// canonical representative — a synthetic profile pinned to the bucket's
+// conservative (upper) edges: largest n, largest condition number,
+// widest dynamic range, worst maxAbs/sumAbs ratio the bucket admits.
+// The memoized decision is therefore a pure function of the bucket, so
+// a hit and a miss return identical decisions and results are
+// independent of request order, concurrency, and cache capacity.
+// Under the monotone HeuristicPolicy the representative's decision is
+// also conservative for every profile in the bucket: it never selects
+// a cheaper algorithm than the exact profile would.
+//
+// What is quantized (see quantize): tolerance exactly (its bits are the
+// key), condition number in quarter-decades of clampLog10K (with one
+// sentinel bucket for k ≥ 10^17/Inf/NaN), n in powers of two, dynamic
+// range in 4-octave steps. What is NOT affected: execution bits. The
+// decision (algorithm + PR configuration) fully determines the
+// arithmetic; the cache only changes how the decision is obtained, so
+// a given Selector configuration produces identical bits with a cold
+// cache, a warm cache, or a thrashing one. Attaching a cache is itself
+// a configuration change, though: quantization may round a decision up
+// to a more accurate algorithm than the exact-profile policy call.
+//
+// Poisoned (NonFinite) profiles never reach the cache (Selector.Decide
+// bypasses it) — they would alias the ill-conditioned bucket while
+// requiring different handling.
+//
+// The cache is safe for concurrent use. With CacheConfig.Shards > 1 the
+// key space is split across independently locked shards so concurrent
+// callers rarely contend. Hits cost one map probe and two list-pointer
+// swaps under the shard lock, with zero heap allocations.
+type DecisionCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// CacheConfig sizes a DecisionCache.
+type CacheConfig struct {
+	// Capacity is the total number of memoized decisions across all
+	// shards; least-recently-used entries are evicted beyond it.
+	// Defaults to 4096 (a few hundred KB; far more buckets than a
+	// single workload's profiles usually span).
+	Capacity int
+	// Shards is the number of independently locked segments, rounded up
+	// to a power of two. Defaults to 1; raise it when many goroutines
+	// serve decisions concurrently.
+	Shards int
+}
+
+// CacheStats is an observability snapshot of a DecisionCache.
+type CacheStats struct {
+	Hits, Misses int64
+	// Entries is the number of decisions currently memoized.
+	Entries int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any traffic.
+func (cs CacheStats) HitRate() float64 {
+	total := cs.Hits + cs.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(total)
+}
+
+// cacheKey identifies one quantization bucket. All fields are
+// comparable scalars, so the key hashes and compares without
+// allocating.
+type cacheKey struct {
+	// tol is math.Float64bits of the requirement's tolerance — exact,
+	// never bucketed: two requirements are the same key only when they
+	// are the same tolerance.
+	tol uint64
+	// kq is the condition bucket: ceil(4·clampLog10K(k)) in 0..68, or
+	// kInfBucket for k ≥ 10^17, +Inf, or NaN.
+	kq int16
+	// nq is the size bucket: bits.Len64(n), i.e. n's power-of-two
+	// magnitude.
+	nq int16
+	// drq is the dynamic-range bucket: ceil(dr/4).
+	drq int16
+}
+
+// kInfBucket is the saturated condition bucket (clampLog10K == 17 edge
+// and beyond, including NaN estimates from an overflowed Σ|x|).
+const kInfBucket int16 = 69
+
+// quantize maps a (profile, requirement) onto its bucket.
+func quantize(p Profile, req Requirement) cacheKey {
+	var kq int16
+	k := p.Cond()
+	if math.IsNaN(k) || k > 1e17 {
+		kq = kInfBucket
+	} else {
+		kq = int16(math.Ceil(clampLog10K(k) * 4))
+	}
+	return cacheKey{
+		tol: math.Float64bits(req.Tolerance),
+		kq:  kq,
+		nq:  int16(bits.Len64(uint64(p.N))),
+		drq: int16((p.DynRange() + 3) / 4),
+	}
+}
+
+// representative synthesizes the bucket's canonical profile, pinned to
+// the conservative edge of every quantized axis:
+//
+//   - n: the bucket's upper edge 2^nq - 1 (predictions grow with n);
+//   - k: Sum = 1/k' against SumAbs = 1 with k' at the bucket's upper
+//     edge 10^(kq/4); the sentinel bucket uses Sum = 0, making Cond
+//     exactly +Inf;
+//   - dr: MaxExp = 0, MinExp = -4·drq (the widest range the bucket
+//     admits), which also pins TunePR's maxAbs/sumAbs ratio at its
+//     worst case 2 — real data in the bucket never has a larger ratio,
+//     so the memoized PR configuration is at least as accurate as the
+//     exact-profile tuning.
+//
+// Keeping the representative at unit scale (SumAbs = 1, MaxExp = 0)
+// also keeps TunePR's ldexp arithmetic far from overflow for any
+// representable dynamic range.
+func representative(key cacheKey) (Profile, Requirement) {
+	req := Requirement{Tolerance: math.Float64frombits(key.tol)}
+	n := int64(1)
+	if key.nq > 0 {
+		n = int64(1)<<min(key.nq, 62) - 1
+	}
+	p := Profile{
+		N:          n,
+		HasNonzero: true,
+		MaxExp:     0,
+		MinExp:     -4 * int(key.drq),
+		Pos:        n,
+		SumAbs:     CSum{S: 1},
+	}
+	if key.kq != kInfBucket {
+		p.Sum = CSum{S: 1 / math.Pow(10, float64(key.kq)/4)}
+	}
+	return p, req
+}
+
+// hash mixes the key with a splitmix64 finalizer; the shard index takes
+// the low bits.
+func (k cacheKey) hash() uint64 {
+	h := k.tol
+	h ^= uint64(uint16(k.kq)) | uint64(uint16(k.nq))<<16 | uint64(uint16(k.drq))<<32
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// cacheEntry is one memoized decision in a shard's slab, linked into
+// the shard's recency list by slab index (no per-entry allocations).
+type cacheEntry struct {
+	key        cacheKey
+	d          Decision
+	prev, next int32
+}
+
+const nilIdx int32 = -1
+
+// cacheShard is one independently locked segment: a map from key to
+// slab index plus an intrusive LRU list over the slab.
+type cacheShard struct {
+	mu           sync.Mutex
+	idx          map[cacheKey]int32
+	ents         []cacheEntry
+	cap          int
+	head, tail   int32
+	hits, misses int64
+}
+
+// NewDecisionCache returns an empty cache; zero-value config fields take
+// their defaults.
+func NewDecisionCache(cfg CacheConfig) *DecisionCache {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	nShards := 1
+	for nShards < cfg.Shards {
+		nShards <<= 1
+	}
+	perShard := (cfg.Capacity + nShards - 1) / nShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	dc := &DecisionCache{
+		shards: make([]cacheShard, nShards),
+		mask:   uint64(nShards - 1),
+	}
+	for i := range dc.shards {
+		dc.shards[i] = cacheShard{
+			idx:  make(map[cacheKey]int32, perShard),
+			ents: make([]cacheEntry, 0, perShard),
+			cap:  perShard,
+			head: nilIdx,
+			tail: nilIdx,
+		}
+	}
+	return dc
+}
+
+// decide returns the bucket's memoized decision, computing and
+// inserting it on a miss. The policy runs outside the shard lock;
+// concurrent misses on one bucket may both evaluate it, but they
+// evaluate the same pure function of the same representative, so the
+// race is benign and the stored decision identical either way.
+func (dc *DecisionCache) decide(pol Policy, p Profile, req Requirement) Decision {
+	key := quantize(p, req)
+	sh := &dc.shards[key.hash()&dc.mask]
+	sh.mu.Lock()
+	if i, ok := sh.idx[key]; ok {
+		sh.touch(i)
+		d := sh.ents[i].d
+		sh.hits++
+		sh.mu.Unlock()
+		return d
+	}
+	sh.misses++
+	sh.mu.Unlock()
+
+	rp, rreq := representative(key)
+	d := decide(pol, rp, rreq)
+
+	sh.mu.Lock()
+	sh.insert(key, d)
+	sh.mu.Unlock()
+	return d
+}
+
+// Stats sums the shard counters. The snapshot is per-shard consistent,
+// not globally atomic.
+func (dc *DecisionCache) Stats() CacheStats {
+	var cs CacheStats
+	for i := range dc.shards {
+		sh := &dc.shards[i]
+		sh.mu.Lock()
+		cs.Hits += sh.hits
+		cs.Misses += sh.misses
+		cs.Entries += int64(len(sh.idx))
+		sh.mu.Unlock()
+	}
+	return cs
+}
+
+// touch moves entry i to the recency head. Caller holds mu.
+func (sh *cacheShard) touch(i int32) {
+	if sh.head == i {
+		return
+	}
+	e := &sh.ents[i]
+	if e.prev != nilIdx {
+		sh.ents[e.prev].next = e.next
+	}
+	if e.next != nilIdx {
+		sh.ents[e.next].prev = e.prev
+	}
+	if sh.tail == i {
+		sh.tail = e.prev
+	}
+	e.prev = nilIdx
+	e.next = sh.head
+	if sh.head != nilIdx {
+		sh.ents[sh.head].prev = i
+	}
+	sh.head = i
+	if sh.tail == nilIdx {
+		sh.tail = i
+	}
+}
+
+// insert memoizes (key, d), evicting the least-recently-used entry at
+// capacity. A concurrent miss may have inserted the key already; the
+// stored decision is identical, so the entry is just refreshed. Caller
+// holds mu.
+func (sh *cacheShard) insert(key cacheKey, d Decision) {
+	if i, ok := sh.idx[key]; ok {
+		sh.ents[i].d = d
+		sh.touch(i)
+		return
+	}
+	var i int32
+	if len(sh.ents) < sh.cap {
+		i = int32(len(sh.ents))
+		sh.ents = append(sh.ents, cacheEntry{prev: nilIdx, next: nilIdx})
+	} else {
+		// Reuse the LRU slot.
+		i = sh.tail
+		delete(sh.idx, sh.ents[i].key)
+		sh.touch(i) // unlink from tail, relink at head
+	}
+	e := &sh.ents[i]
+	e.key, e.d = key, d
+	sh.idx[key] = i
+	if sh.head != i {
+		// Fresh slab slot: link at head.
+		e.prev, e.next = nilIdx, sh.head
+		if sh.head != nilIdx {
+			sh.ents[sh.head].prev = i
+		}
+		sh.head = i
+		if sh.tail == nilIdx {
+			sh.tail = i
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package selector
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/parallel"
+	"repro/internal/sum"
+)
+
+// Fused speculative serving path.
+//
+// The legacy Selector.Sum reads the data twice: ProfileOf(xs) to build
+// the selection profile, then alg.Sum(xs) once the policy has chosen —
+// 2x memory traffic even when the choice is the cheapest algorithm.
+// The fused path folds the profile AND the two cheapest candidate
+// answers (ST's plain sum and Neumaier's compensated pair — the
+// profile's Σx accumulator is that pair) in one pass over xs
+// (kernel.FusedProfileSum), then consults the policy. When the policy
+// picks ST or Neumaier the answer is already in hand and the data is
+// never read again; only escalations to PW/K/CP/PR pay a second pass.
+// Every fast-path result is bitwise-identical to what the legacy
+// two-pass route computes, pinned by equivalence tests.
+
+// FusedPass is the outcome of one fused profile+sum pass: the complete
+// selection profile plus the speculative plain-sum shadow. The Neumaier
+// speculation needs no extra field — it IS Profile.Sum.
+type FusedPass struct {
+	Profile Profile
+	// ST is the plain left-to-right (or, for the parallel variant,
+	// chunk-tree) sum of all elements including zeros and non-finite
+	// values — exactly what sum.Standard / parallel.Sum(StandardAlg)
+	// would return.
+	ST float64
+}
+
+// passOf rebuilds the selector-level view of a kernel accumulator. The
+// field mapping is 1:1; the kernel type exists only so the hot loop
+// lives with its peer kernels and stays free of selector dependencies.
+func passOf(a kernel.FusedAcc) FusedPass {
+	return FusedPass{
+		Profile: Profile{
+			N:          a.N,
+			Sum:        CSum{S: a.SumS, C: a.SumC},
+			SumAbs:     CSum{S: a.AbsS, C: a.AbsC},
+			MaxExp:     a.MaxExp,
+			MinExp:     a.MinExp,
+			HasNonzero: a.HasNonzero,
+			Pos:        a.Pos,
+			Neg:        a.Neg,
+			NonFinite:  a.NonFinite,
+		},
+		ST: a.ST,
+	}
+}
+
+// FusedProfileSum profiles xs and computes both speculative sums in a
+// single serial pass. The profile is bit-identical to ProfileOf(xs) and
+// the ST shadow to sum.Standard(xs).
+func FusedProfileSum(xs []float64) FusedPass {
+	return passOf(kernel.FusedProfileSum(xs))
+}
+
+// FusedProfileSumParallel is the engine variant: per-chunk fused folds
+// combined with kernel.FusedAcc.Merge over the engine's fixed balanced
+// tree. The profile matches ProfileOfParallel(xs, cfg) and the
+// speculative sums match parallel.Sum(StandardAlg/NeumaierAlg, xs, cfg)
+// bit-for-bit at any worker count — provided cfg.LaneWidth <= 1 (lane
+// plans change the chunk-fold bits; callers must fall back to the
+// two-pass route for wider lanes, as core.Runtime does).
+func FusedProfileSumParallel(xs []float64, cfg parallel.Config) FusedPass {
+	a, ok := parallel.MapReduce(len(xs), cfg,
+		func(lo, hi int) kernel.FusedAcc { return kernel.FusedProfileSum(xs[lo:hi]) },
+		kernel.FusedAcc.Merge)
+	if !ok {
+		return FusedPass{}
+	}
+	return passOf(a)
+}
+
+// SpecSum returns the already-computed sum for alg, if this pass holds
+// one:
+//
+//   - StandardAlg: always available — the ST shadow folds every element
+//     (non-finite included) exactly as sum.Standard does.
+//   - NeumaierAlg: available when no non-finite value was profiled (a
+//     real Neumaier fold would have absorbed it; the profile pair
+//     skipped it) and the pair itself stayed finite (on an intermediate
+//     overflow the branch-free TwoSum residual and Neumaier's branched
+//     residual can diverge; overflow is sticky, so a finite final pair
+//     proves every intermediate step was finite and the equality exact).
+//
+// All other algorithms return ok=false: the caller escalates to a real
+// second-pass fold.
+func (fp FusedPass) SpecSum(alg sum.Algorithm) (float64, bool) {
+	switch alg {
+	case sum.StandardAlg:
+		return fp.ST, true
+	case sum.NeumaierAlg:
+		if fp.Profile.NonFinite || !fp.Profile.Sum.Finite() {
+			return 0, false
+		}
+		return fp.Profile.Sum.Float64(), true
+	}
+	return 0, false
+}
+
+// Decision is one memoizable selection outcome: the chosen algorithm,
+// its predicted variability, and — when the choice is PR — the tuned
+// prerounding configuration. It is a pure function of (policy, profile,
+// requirement), which is what makes the decision cache sound.
+type Decision struct {
+	Alg       sum.Algorithm
+	Predicted float64
+	// PR is the TunePR configuration; meaningful only when TunedPR.
+	PR      sum.PRConfig
+	TunedPR bool
+}
+
+// decide evaluates the policy (and, for PR selections, the tuner)
+// directly, with no cache involved.
+func decide(pol Policy, p Profile, req Requirement) Decision {
+	alg, pred := pol.Select(p, req)
+	d := Decision{Alg: alg, Predicted: pred}
+	if alg == sum.PreroundedAlg {
+		d.PR = TunePR(p, req)
+		d.TunedPR = true
+	}
+	return d
+}
+
+// Decide maps a profile to a selection decision under the selector's
+// policy and requirement, going through the decision cache when one is
+// attached. Poisoned (NonFinite) profiles always bypass the cache: they
+// quantize onto the same bucket as merely ill-conditioned data but must
+// keep the legacy poisoned-path behavior exactly.
+func (s *Selector) Decide(p Profile) Decision {
+	if s.Cache != nil && !p.NonFinite {
+		return s.Cache.decide(s.Policy, p, s.Req)
+	}
+	return decide(s.Policy, p, s.Req)
+}
+
+// Selection describes one fused select-and-sum call, for reporting.
+type Selection struct {
+	Profile   Profile
+	Alg       sum.Algorithm
+	Predicted float64
+	// PR is the tuned prerounding configuration when Alg is PR.
+	PR *sum.PRConfig
+	// Fast reports that the returned sum came out of the speculative
+	// pass — the data was read exactly once.
+	Fast bool
+	// NonFinite reports the poisoned-input fallback: the profile saw
+	// NaN/±Inf, selection was skipped, and the ST sum (which absorbs
+	// non-finite values with IEEE semantics) was returned.
+	NonFinite bool
+}
+
+// SelectAndSum is the fused serving call: one pass to profile and
+// speculate, a policy consult (cache-aware), and — only if the policy
+// escalates past ST/Neumaier — a second pass with the selected
+// operator. PR escalations run with the TunePR-sized configuration,
+// like core.Runtime.Sum. Poisoned inputs fall back to the ST shadow,
+// which equals sum.Standard(xs) bit-for-bit.
+func (s *Selector) SelectAndSum(xs []float64) (float64, Selection) {
+	fp := FusedProfileSum(xs)
+	prof := fp.Profile
+	if prof.NonFinite {
+		return fp.ST, Selection{
+			Profile: prof, Alg: sum.StandardAlg, Fast: true, NonFinite: true,
+		}
+	}
+	d := s.Decide(prof)
+	sel := Selection{Profile: prof, Alg: d.Alg, Predicted: d.Predicted}
+	if v, ok := fp.SpecSum(d.Alg); ok {
+		sel.Fast = true
+		return v, sel
+	}
+	if d.Alg == sum.PreroundedAlg {
+		cfg := d.PR
+		sel.PR = &cfg
+		return sum.PreroundedWith(cfg, xs), sel
+	}
+	return d.Alg.Sum(xs), sel
+}
+
+// SelectAndSumParallel is SelectAndSum on the parallel engine: fused
+// per-chunk folds, the same decision step, and parallel escalation.
+// ok=false means the engine cannot serve this configuration fused
+// (cfg.LaneWidth > 1 — lane plans change which bits the chunk folds
+// produce) and the caller should take the legacy two-pass route.
+// Poisoned inputs fall back to one serial ST pass — the same bits the
+// legacy parallel route's non-finite fallback produces.
+func (s *Selector) SelectAndSumParallel(xs []float64, cfg parallel.Config) (float64, Selection, bool) {
+	if cfg.LaneWidth > 1 {
+		return 0, Selection{}, false
+	}
+	fp := FusedProfileSumParallel(xs, cfg)
+	prof := fp.Profile
+	if prof.NonFinite {
+		return sum.Standard(xs), Selection{
+			Profile: prof, Alg: sum.StandardAlg, NonFinite: true,
+		}, true
+	}
+	d := s.Decide(prof)
+	sel := Selection{Profile: prof, Alg: d.Alg, Predicted: d.Predicted}
+	if v, ok := fp.SpecSum(d.Alg); ok {
+		sel.Fast = true
+		return v, sel, true
+	}
+	if d.Alg == sum.PreroundedAlg {
+		prCfg := d.PR
+		sel.PR = &prCfg
+		return parallel.SumPR(prCfg, xs, cfg), sel, true
+	}
+	return parallel.Sum(d.Alg, xs, cfg), sel, true
+}

@@ -1,0 +1,276 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/parallel"
+	"repro/internal/sum"
+)
+
+func fbits(v float64) uint64 { return math.Float64bits(v) }
+
+// fusedCases spans the generator corners plus the fused loop's
+// special-cased inputs: zeros (both signs), subnormals, poison, empty.
+func fusedCases() map[string][]float64 {
+	cases := map[string][]float64{
+		"empty":  nil,
+		"single": {3.25},
+		"zeros":  {0, math.Copysign(0, -1), 0},
+	}
+	for name, spec := range map[string]gen.Spec{
+		"benign":    {N: 5000, Cond: 1, DynRange: 8, Seed: 21},
+		"illcond":   {N: 5000, Cond: 1e8, DynRange: 24, Seed: 22},
+		"sumzero":   {N: 5000, Cond: math.Inf(1), DynRange: 32, Seed: 23},
+		"widerange": {N: 4097, Cond: 1e4, DynRange: 40, Seed: 24},
+	} {
+		cases[name] = spec.Generate()
+	}
+	sub := make([]float64, 999)
+	for i := range sub {
+		sub[i] = math.Ldexp(float64(i%5+1), -1070-i%4)
+	}
+	cases["subnormal"] = sub
+	poisoned := gen.Spec{N: 1000, Cond: 1, DynRange: 4, Seed: 25}.Generate()
+	poisoned[500] = math.Inf(-1)
+	cases["poisoned"] = poisoned
+	nan := gen.Spec{N: 1000, Cond: 1, DynRange: 4, Seed: 26}.Generate()
+	nan[7] = math.NaN()
+	cases["nan"] = nan
+	return cases
+}
+
+// TestFusedPassMatchesProfileOf pins the fused pass's profile
+// bit-identical (struct equality, compensated pairs included) to the
+// legacy ProfileOf, and its speculative sums to the serial operators.
+func TestFusedPassMatchesProfileOf(t *testing.T) {
+	for name, xs := range fusedCases() {
+		fp := FusedProfileSum(xs)
+		if fp.Profile != ProfileOf(xs) {
+			t.Errorf("%s: fused profile %+v != ProfileOf %+v", name, fp.Profile, ProfileOf(xs))
+		}
+		if fbits(fp.ST) != fbits(sum.Standard(xs)) {
+			t.Errorf("%s: fused ST != sum.Standard", name)
+		}
+	}
+}
+
+// TestFusedSpecSum pins the speculation protocol: ST always served,
+// Neumaier served bit-identical to sum.Neumaier on clean data and
+// refused on poisoned or overflowed accumulations, everything else
+// escalated.
+func TestFusedSpecSum(t *testing.T) {
+	for name, xs := range fusedCases() {
+		fp := FusedProfileSum(xs)
+		v, ok := fp.SpecSum(sum.StandardAlg)
+		if !ok || fbits(v) != fbits(sum.Standard(xs)) {
+			t.Errorf("%s: ST speculation wrong (ok=%v)", name, ok)
+		}
+		v, ok = fp.SpecSum(sum.NeumaierAlg)
+		if fp.Profile.NonFinite {
+			if ok {
+				t.Errorf("%s: Neumaier speculation served on poisoned data", name)
+			}
+		} else if !ok || fbits(v) != fbits(sum.Neumaier(xs)) {
+			t.Errorf("%s: Neumaier speculation wrong (ok=%v, %x vs %x)",
+				name, ok, fbits(v), fbits(sum.Neumaier(xs)))
+		}
+		for _, alg := range []sum.Algorithm{sum.PairwiseAlg, sum.KahanAlg,
+			sum.CompositeAlg, sum.PreroundedAlg} {
+			if _, ok := fp.SpecSum(alg); ok {
+				t.Errorf("%s: speculation claimed to hold %v", name, alg)
+			}
+		}
+	}
+	// Intermediate overflow: the pair goes non-finite while no input is,
+	// and speculation must refuse rather than return bits that can
+	// diverge from the branched recurrence.
+	over := []float64{1e308, 1e308, -1e308}
+	fp := FusedProfileSum(over)
+	if fp.Profile.NonFinite {
+		t.Fatal("overflowed accumulator must not set the input poison flag")
+	}
+	if _, ok := fp.SpecSum(sum.NeumaierAlg); ok {
+		t.Error("Neumaier speculation served past an intermediate overflow")
+	}
+}
+
+// TestSelectorSumFusedEquivalence pins the rewired Selector.Sum
+// bit-identical to the legacy two-pass route (profile, policy, then
+// alg.Sum) for every tolerance regime, including escalations.
+func TestSelectorSumFusedEquivalence(t *testing.T) {
+	for name, xs := range fusedCases() {
+		for _, tol := range []float64{1e-6, 1e-9, 1e-12, 1e-15, 0} {
+			s := New(tol)
+			got, alg := s.Sum(xs)
+			wantAlg, _ := s.Policy.Select(ProfileOf(xs), s.Req)
+			if alg != wantAlg {
+				t.Errorf("%s tol=%g: fused chose %v, legacy %v", name, tol, alg, wantAlg)
+				continue
+			}
+			if want := wantAlg.Sum(xs); fbits(got) != fbits(want) {
+				t.Errorf("%s tol=%g (%v): fused %x != legacy %x",
+					name, tol, alg, fbits(got), fbits(want))
+			}
+		}
+	}
+}
+
+// TestSelectorSumStaticAlgorithms forces every algorithm through the
+// fused route with a Static policy and pins the result against the
+// algorithm's own serial operator — fast paths and escalations alike.
+func TestSelectorSumStaticAlgorithms(t *testing.T) {
+	for name, xs := range fusedCases() {
+		for _, alg := range sum.Algorithms {
+			s := New(0)
+			s.Policy = Static{Alg: alg}
+			got, chosen := s.Sum(xs)
+			if chosen != alg {
+				t.Fatalf("%s: Static policy ignored: %v", name, chosen)
+			}
+			if want := alg.Sum(xs); fbits(got) != fbits(want) {
+				t.Errorf("%s %v: fused %x != serial %x", name, alg, fbits(got), fbits(want))
+			}
+		}
+	}
+}
+
+// TestSelectAndSumEquivalence pins the serving call against the legacy
+// core-style route: poisoned inputs fall back to sum.Standard, PR
+// selections run the TunePR configuration, everything else alg.Sum.
+func TestSelectAndSumEquivalence(t *testing.T) {
+	for name, xs := range fusedCases() {
+		for _, tol := range []float64{1e-6, 1e-12, 0} {
+			s := New(tol)
+			got, sel := s.SelectAndSum(xs)
+			prof := ProfileOf(xs)
+			if sel.Profile != prof {
+				t.Errorf("%s tol=%g: selection profile diverges", name, tol)
+			}
+			var want float64
+			switch {
+			case prof.NonFinite:
+				want = sum.Standard(xs)
+				if !sel.NonFinite || sel.Alg != sum.StandardAlg || !sel.Fast {
+					t.Errorf("%s tol=%g: poisoned selection %+v", name, tol, sel)
+				}
+			default:
+				alg, _ := s.Policy.Select(prof, s.Req)
+				if alg != sel.Alg {
+					t.Errorf("%s tol=%g: chose %v, legacy %v", name, tol, sel.Alg, alg)
+					continue
+				}
+				if alg == sum.PreroundedAlg {
+					cfg := TunePR(prof, s.Req)
+					if sel.PR == nil || *sel.PR != cfg {
+						t.Errorf("%s tol=%g: PR config %+v, want %+v", name, tol, sel.PR, cfg)
+					}
+					want = sum.PreroundedWith(cfg, xs)
+				} else {
+					want = alg.Sum(xs)
+				}
+				if wantFast := alg == sum.StandardAlg || alg == sum.NeumaierAlg; sel.Fast != wantFast {
+					t.Errorf("%s tol=%g (%v): Fast=%v", name, tol, alg, sel.Fast)
+				}
+			}
+			if fbits(got) != fbits(want) {
+				t.Errorf("%s tol=%g (%v): %x != %x", name, tol, sel.Alg, fbits(got), fbits(want))
+			}
+		}
+	}
+}
+
+// TestSelectAndSumParallelEquivalence pins the engine variant against
+// the legacy two-pass parallel route at several worker counts: same
+// profile bits, same selection, same sum bits. Worker count must not
+// change any of it.
+func TestSelectAndSumParallelEquivalence(t *testing.T) {
+	for name, xs := range fusedCases() {
+		for _, workers := range []int{1, 2, 4, 7} {
+			cfg := parallel.Config{Workers: workers, ChunkSize: 1 << 9}
+			for _, tol := range []float64{1e-6, 1e-12, 0} {
+				s := New(tol)
+				got, sel, ok := s.SelectAndSumParallel(xs, cfg)
+				if !ok {
+					t.Fatalf("%s w=%d: engine refused lane width 1", name, workers)
+				}
+				prof := ProfileOfParallel(xs, cfg)
+				if sel.Profile != prof {
+					t.Errorf("%s w=%d tol=%g: profile diverges from ProfileOfParallel",
+						name, workers, tol)
+				}
+				var want float64
+				switch {
+				case prof.NonFinite:
+					want = sum.Standard(xs) // legacy engine fallback is the serial ST pass
+				default:
+					alg, _ := s.Policy.Select(prof, s.Req)
+					if alg != sel.Alg {
+						t.Errorf("%s w=%d tol=%g: chose %v, legacy %v",
+							name, workers, tol, sel.Alg, alg)
+						continue
+					}
+					if alg == sum.PreroundedAlg {
+						want = parallel.SumPR(TunePR(prof, s.Req), xs, cfg)
+					} else {
+						want = parallel.Sum(alg, xs, cfg)
+					}
+				}
+				if fbits(got) != fbits(want) {
+					t.Errorf("%s w=%d tol=%g (%v): %x != %x",
+						name, workers, tol, sel.Alg, fbits(got), fbits(want))
+				}
+			}
+			// Forced Neumaier exercises the compensated-pair fast path on
+			// the engine.
+			s := New(0)
+			s.Policy = Static{Alg: sum.NeumaierAlg}
+			got, sel, ok := s.SelectAndSumParallel(xs, cfg)
+			if !ok {
+				t.Fatal("engine refused")
+			}
+			if !sel.Profile.NonFinite {
+				if want := parallel.Sum(sum.NeumaierAlg, xs, cfg); fbits(got) != fbits(want) {
+					t.Errorf("%s w=%d: engine Neumaier fast path %x != parallel.Sum %x",
+						name, workers, fbits(got), fbits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestSelectAndSumParallelLaneFallback: lane plans are not fused; the
+// engine variant must decline so callers take the legacy route.
+func TestSelectAndSumParallelLaneFallback(t *testing.T) {
+	xs := gen.Spec{N: 4096, Cond: 1, DynRange: 4, Seed: 31}.Generate()
+	s := New(1e-9)
+	if _, _, ok := s.SelectAndSumParallel(xs, parallel.Config{LaneWidth: 2}); ok {
+		t.Error("fused engine served a lane-width-2 plan")
+	}
+}
+
+// TestFusedFastPathAllocs pins the speculative serving calls as
+// allocation-free on the ST and Neumaier fast paths — the acceptance
+// bar for the steady-state serving loop.
+func TestFusedFastPathAllocs(t *testing.T) {
+	xs := gen.Spec{N: 4096, Cond: 1, DynRange: 4, Seed: 32}.Generate()
+	var sink float64
+	st := New(1e-9) // analytic policy picks ST for this data
+	if a, _ := st.Choose(xs); a != sum.StandardAlg {
+		t.Fatal("fixture no longer selects ST")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sink, _ = st.SelectAndSum(xs)
+	}); n != 0 {
+		t.Errorf("ST fast path allocates %v per run", n)
+	}
+	nm := New(0)
+	nm.Policy = Static{Alg: sum.NeumaierAlg}
+	if n := testing.AllocsPerRun(100, func() {
+		sink, _ = nm.SelectAndSum(xs)
+	}); n != 0 {
+		t.Errorf("Neumaier fast path allocates %v per run", n)
+	}
+	_ = sink
+}

@@ -183,14 +183,21 @@ func (cp *CalibratedPolicy) nearest(p Profile) (grid.CellResult, bool) {
 			bestDist, bestIdx = d, i
 		}
 	}
+	if bestIdx < 0 {
+		// Every distance was NaN (degenerate cell coordinates); no
+		// meaningful neighbor exists.
+		return grid.CellResult{}, false
+	}
 	return cp.cells[bestIdx], true
 }
 
-// clampLog10K maps k (possibly +Inf) onto a bounded log scale so that
-// distances remain finite; k beyond 10^17 (full cancellation at double
-// precision) saturates.
+// clampLog10K maps k (possibly +Inf or NaN) onto a bounded log scale so
+// that distances remain finite; k beyond 10^17 (full cancellation at
+// double precision) saturates, and NaN estimates — an overflowed Σ|x|
+// yields Cond = Inf/Inf — are treated as saturated rather than poisoning
+// every distance they touch.
 func clampLog10K(k float64) float64 {
-	if math.IsInf(k, 1) || k > 1e17 {
+	if math.IsNaN(k) || k > 1e17 {
 		return 17
 	}
 	if k < 1 {
@@ -226,6 +233,21 @@ func (cp *CalibratedPolicy) Select(p Profile, req Requirement) (sum.Algorithm, f
 
 // Cells exposes the calibration table (for persistence and reports).
 func (cp *CalibratedPolicy) Cells() []grid.CellResult { return cp.cells }
+
+// Static is a Policy that always selects one fixed algorithm, with a
+// predicted variability of 0. It pins an operator while keeping the
+// selector's profiling, fused speculation, and caching machinery in
+// the loop — the benchmarks use it to isolate the Neumaier fast path,
+// which the analytic policy never reaches (Kahan precedes it in
+// sum.PaperAlgorithms at the same predicted variability).
+type Static struct {
+	Alg sum.Algorithm
+}
+
+// Select implements Policy.
+func (st Static) Select(Profile, Requirement) (sum.Algorithm, float64) {
+	return st.Alg, 0
+}
 
 func max64(a, b int64) int64 {
 	if a > b {

@@ -11,17 +11,71 @@
 // are deterministic functions of the profile, so every rank of a
 // distributed reduction reaches the same decision without extra
 // coordination beyond sharing the profile.
+//
+// The serving path is speculative: FusedProfileSum computes the profile
+// and the two cheapest candidate sums (ST and Neumaier) in one memory
+// pass, so when the policy settles on either, the answer is already in
+// hand and the data is never read twice (see fused.go). An optional
+// quantized DecisionCache memoizes policy outcomes so steady-state
+// traffic skips policy evaluation entirely (see cache.go).
 package selector
 
 import (
 	"fmt"
 	"math"
 
-	"repro/internal/dd"
 	"repro/internal/fpu"
 	"repro/internal/parallel"
 	"repro/internal/reduce"
 )
+
+// CSum is a compensated running sum: an unevaluated pair (S, C) whose
+// value is S + C, maintained with Neumaier's recurrence (the correction
+// of every addition is captured exactly via TwoSum and accumulated in
+// C). The pair resolves cancellation far below the resolution of a
+// plain float64 sum — the relative error of Float64() is O((n·u)²)
+// times the absolute-value sum, which distinguishes condition numbers
+// well beyond the 10^17 saturation point of the selection policies.
+//
+// CSum is the same state as sum.NState, and AddFloat64/Add are
+// bit-compatible with the Neumaier fold and merge operators: a profile
+// accumulated over a value set carries, for free, exactly the bits a
+// Neumaier summation of that set would produce. The fused speculative
+// engine (fused.go) is built on that identity.
+type CSum struct{ S, C float64 }
+
+// Float64 rounds the pair to the nearest float64 (the Neumaier
+// finalization S + C).
+func (a CSum) Float64() float64 { return a.S + a.C }
+
+// IsNaN reports whether either component is NaN.
+func (a CSum) IsNaN() bool { return math.IsNaN(a.S) || math.IsNaN(a.C) }
+
+// Finite reports whether both components are finite (no intermediate
+// overflow poisoned the pair; overflow is sticky under AddFloat64/Add).
+func (a CSum) Finite() bool {
+	return !math.IsNaN(a.S) && !math.IsInf(a.S, 0) &&
+		!math.IsNaN(a.C) && !math.IsInf(a.C, 0)
+}
+
+// AddFloat64 folds one value into the pair. The residual is captured
+// with the branch-free TwoSum, which equals Neumaier's branched
+// residual bit-for-bit (both are the exact representable error of the
+// same addition), so a chain of AddFloat64 calls is bitwise-identical
+// to kernel.Neumaier / streaming sum.NeumaierAcc over the same values.
+func (a CSum) AddFloat64(x float64) CSum {
+	s, e := fpu.TwoSum(a.S, x)
+	return CSum{S: s, C: a.C + e}
+}
+
+// Add merges two pairs: an exact TwoSum of the partial sums, the
+// corrections added plainly — exactly sum.NeumaierMonoid.Merge, so
+// tree-merged profiles stay bit-compatible with the parallel engine's
+// Neumaier reduction.
+func (a CSum) Add(b CSum) CSum {
+	s, e := fpu.TwoSum(a.S, b.S)
+	return CSum{S: s, C: a.C + b.C + e}
+}
 
 // Profile summarizes the runtime-estimable properties of a value set.
 // Profiles are mergeable, so a global profile can be computed with one
@@ -29,11 +83,16 @@ import (
 type Profile struct {
 	// N is the number of values (zeros included).
 	N int64
-	// Sum is the running sum in composite precision — accurate enough
-	// to detect near-total cancellation (~106 bits).
-	Sum dd.DD
-	// SumAbs is the running sum of |x| in composite precision.
-	SumAbs dd.DD
+	// Sum is the running sum as a compensated (Neumaier) pair —
+	// accurate enough to detect near-total cancellation, and
+	// bit-identical to what a Neumaier summation of the same values
+	// would hold (the fused engine returns it directly when the policy
+	// selects Neumaier).
+	Sum CSum
+	// SumAbs is the running sum of |x|. The terms never cancel, so S is
+	// accumulated plainly (n·u relative accuracy is ample for condition
+	// estimation); C is populated only by Merge's exact combination.
+	SumAbs CSum
 	// MaxExp and MinExp are the extreme binary exponents of the nonzero
 	// values; valid only when HasNonzero.
 	MaxExp, MinExp int
@@ -42,17 +101,20 @@ type Profile struct {
 	Pos, Neg int64
 	// NonFinite is the poison flag (mirroring superacc.Acc): a NaN or
 	// ±Inf was profiled. Such values never enter Sum/SumAbs or the
-	// exponent extremes — they would silently corrupt the dd arithmetic —
-	// and Merge propagates the flag, so a poisoned shard poisons the
-	// global profile. Cond reports +Inf for poisoned profiles.
+	// exponent extremes — they would silently corrupt the compensated
+	// arithmetic — and Merge propagates the flag, so a poisoned shard
+	// poisons the global profile. Cond reports +Inf for poisoned
+	// profiles.
 	NonFinite bool
 }
 
 // Cond estimates the sum condition number k = sum|x| / |sum x| from the
 // profile. All-zero or empty profiles return 1; profiles whose sum
-// cancels below composite-precision resolution, and profiles poisoned by
+// cancels below compensated-pair resolution, and profiles poisoned by
 // non-finite values, return +Inf (the worst-conditioned answer — the
-// selector cannot promise any finite variability for such data).
+// selector cannot promise any finite variability for such data). When
+// SumAbs overflowed (inputs near the top of the binary64 range) the
+// estimate can be NaN; the policies treat NaN like +Inf.
 func (p Profile) Cond() float64 {
 	if p.NonFinite {
 		return math.Inf(1)
@@ -123,7 +185,8 @@ func (p Profile) Add(x float64) Profile {
 // observe is the in-place sampling step shared by Add and the ProfileOf
 // batch loop; keeping it pointer-receiver lets the hot profiling pass
 // skip the two ~90-byte Profile copies per element that the value-
-// semantics Add pays.
+// semantics Add pays. The fused kernel (kernel.FusedProfileSum)
+// replicates this step exactly — the equivalence is pinned by tests.
 func (p *Profile) observe(x float64) {
 	p.N++
 	if x == 0 {
@@ -134,8 +197,8 @@ func (p *Profile) observe(x float64) {
 		return
 	}
 	p.Sum = p.Sum.AddFloat64(x)
-	p.SumAbs = p.SumAbs.AddFloat64(math.Abs(x))
-	e := fpu.Exponent(x)
+	p.SumAbs.S += math.Abs(x)
+	e := fpu.FiniteExponent(x)
 	if !p.HasNonzero {
 		p.HasNonzero = true
 		p.MaxExp, p.MinExp = e, e
@@ -169,10 +232,11 @@ func ProfileOf(xs []float64) Profile {
 // profiled independently (each with the same streaming pass ProfileOf
 // uses) and combined with Profile.Merge over the engine's fixed balanced
 // tree. The result is bitwise-identical across worker counts. It is not
-// guaranteed bit-identical to the single-pass ProfileOf — the composite-
-// precision Sum/SumAbs fields can differ below ~2^-104 relative — but
-// every derived quantity (Cond, DynRange, SameSign, counts) agrees at
-// the resolution selection depends on.
+// guaranteed bit-identical to the single-pass ProfileOf — the
+// compensated Sum/SumAbs pairs can differ in their final bits under the
+// different combination order — but every derived quantity (Cond,
+// DynRange, SameSign, counts) agrees at the resolution selection
+// depends on.
 func ProfileOfParallel(xs []float64, cfg parallel.Config) Profile {
 	p, ok := parallel.MapReduce(len(xs), cfg,
 		func(lo, hi int) Profile { return ProfileOf(xs[lo:hi]) },
@@ -201,6 +265,15 @@ func (ProfileOp) Merge(a, b reduce.State) reduce.State {
 	return a.(Profile).Merge(b.(Profile))
 }
 
-// Finalize returns the profiled condition number (the headline scalar);
-// callers that need the full profile should keep the state instead.
+// Finalize returns the profiled condition number — reduce.Op constrains
+// Finalize to a single scalar, and k is the headline one. The full
+// merged profile is NOT lost: recover it with ProfileOp.Profile (or a
+// direct type assertion) before finalizing, which is what the policy
+// needs (AdaptiveReduce does exactly this with its AllReduce result).
 func (ProfileOp) Finalize(s reduce.State) float64 { return s.(Profile).Cond() }
+
+// Profile recovers the complete merged Profile from a ProfileOp
+// reduction state, so tree-reduced profiling feeds the policy with
+// every field (n, dynamic range, sign counts, poison flag) rather than
+// the lone condition number Finalize can return.
+func (ProfileOp) Profile(s reduce.State) Profile { return s.(Profile) }

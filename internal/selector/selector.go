@@ -11,6 +11,9 @@ import (
 type Selector struct {
 	Policy Policy
 	Req    Requirement
+	// Cache optionally memoizes decisions per quantized profile bucket
+	// (see DecisionCache); nil means every call evaluates the policy.
+	Cache *DecisionCache
 }
 
 // New returns a Selector with the analytic policy and the given
@@ -21,16 +24,27 @@ func New(tolerance float64) *Selector {
 }
 
 // Choose profiles xs and returns the selected algorithm with the
-// policy's predicted variability.
+// policy's predicted variability; the decision goes through the
+// decision cache when one is attached.
 func (s *Selector) Choose(xs []float64) (sum.Algorithm, float64) {
-	return s.Policy.Select(ProfileOf(xs), s.Req)
+	d := s.Decide(ProfileOf(xs))
+	return d.Alg, d.Predicted
 }
 
 // Sum selects an algorithm for xs and computes the sum with it,
-// returning both.
+// returning both. The pass is fused and speculative: profiling already
+// yields the ST and Neumaier answers, so those selections return
+// without reading xs again, and escalations re-fold with the selected
+// algorithm exactly as the legacy two-pass path did (PR runs its
+// default configuration here; SelectAndSum is the tuning-aware serving
+// call).
 func (s *Selector) Sum(xs []float64) (float64, sum.Algorithm) {
-	alg, _ := s.Choose(xs)
-	return alg.Sum(xs), alg
+	fp := FusedProfileSum(xs)
+	d := s.Decide(fp.Profile)
+	if v, ok := fp.SpecSum(d.Alg); ok {
+		return v, d.Alg
+	}
+	return d.Alg.Sum(xs), d.Alg
 }
 
 // ReduceTree selects an algorithm from the profile of xs and reduces xs
@@ -66,7 +80,10 @@ func ReduceTreeWith(alg sum.Algorithm, p tree.Plan, xs []float64) float64 {
 //     and their merge is cheap and insensitive to order at the
 //     resolution that matters);
 //  3. every rank applies the policy to the identical global profile,
-//     reaching the same algorithm choice with no extra coordination;
+//     reaching the same algorithm choice with no extra coordination
+//     (the quantized decision cache, when attached, is consulted here
+//     — its decisions are pure functions of the profile bucket, so
+//     ranks with the same global profile still agree);
 //  4. the selected operator runs the real reduction.
 //
 // Returns the sum (valid on the root, ok=true there) and the algorithm
@@ -75,8 +92,8 @@ func AdaptiveReduce(r *mpirt.Rank, root int, local []float64, s *Selector,
 	topo mpirt.Topology, mode mpirt.Mode) (result float64, alg sum.Algorithm, ok bool) {
 	localProf := ProfileOf(local)
 	st := r.AllReduce(localProf, ProfileOp{}, topo, mpirt.FixedOrder)
-	global := st.(Profile)
-	alg, _ = s.Policy.Select(global, s.Req)
+	global := ProfileOp{}.Profile(st)
+	alg = s.Decide(global).Alg
 	op := alg.Op()
 	reduced := r.Reduce(root, alg.LocalState(local), op, topo, mode)
 	if reduced == nil {

@@ -87,9 +87,40 @@ func WithChunkSize(c int) Option { return core.WithChunkSize(c) }
 // — like the chunk size — is part of the reproducibility contract.
 func WithLaneWidth(k int) Option { return core.WithLaneWidth(k) }
 
+// CacheConfig sizes a selection decision cache (capacity in entries and
+// shard count for concurrent callers).
+type CacheConfig = selector.CacheConfig
+
+// CacheStats is an observability snapshot of a decision cache: hits,
+// misses, and current occupancy.
+type CacheStats = selector.CacheStats
+
+// WithDecisionCache attaches a quantized decision cache (capacity in
+// entries; <= 0 selects the default 4096): selection decisions are
+// memoized per (tolerance, condition, size, dynamic-range) bucket, so
+// steady-state traffic skips policy evaluation entirely. Each bucket's
+// decision is computed once from the bucket's conservative canonical
+// representative, making cached selection a deterministic pure function
+// of the data's profile — independent of request order, concurrency, and
+// evictions. Inspect hit rates with Runtime.CacheStats.
+func WithDecisionCache(capacity int) Option { return core.WithDecisionCache(capacity) }
+
+// WithDecisionCacheConfig is WithDecisionCache with explicit cache
+// geometry (see CacheConfig).
+func WithDecisionCacheConfig(cfg CacheConfig) Option { return core.WithDecisionCacheConfig(cfg) }
+
 // New returns a Runtime that keeps the relative run-to-run variability
 // of its reductions within tolerance; 0 demands bitwise reproducibility.
 func New(tolerance float64, opts ...Option) *Runtime { return core.New(tolerance, opts...) }
+
+// SelectAndSum is the one-shot fused serving call: a single pass over xs
+// profiles the data and speculatively computes the cheap candidate sums,
+// the policy picks the cheapest algorithm meeting tolerance, and only a
+// selection beyond ST/Neumaier reads xs a second time. Equivalent to
+// New(tolerance).Sum(xs), minus the Runtime setup.
+func SelectAndSum(tolerance float64, xs []float64) (float64, Report) {
+	return core.New(tolerance).Sum(xs)
+}
 
 // Sum computes the sum of xs with the given algorithm.
 func Sum(alg Algorithm, xs []float64) float64 { return alg.Sum(xs) }

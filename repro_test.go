@@ -102,3 +102,45 @@ func TestPublicRuntimeWithWorkers(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicSelectAndSum(t *testing.T) {
+	xs := []float64{3.5, -3.5, 1.25, 2.75}
+	got, rep := repro.SelectAndSum(1e-9, xs)
+	want, wantRep := repro.New(1e-9).Sum(xs)
+	if math.Float64bits(got) != math.Float64bits(want) || rep.Algorithm != wantRep.Algorithm {
+		t.Errorf("SelectAndSum = %g/%v, Runtime.Sum = %g/%v",
+			got, rep.Algorithm, want, wantRep.Algorithm)
+	}
+}
+
+func TestPublicDecisionCache(t *testing.T) {
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = 1 / float64(i+1)
+	}
+	if _, ok := repro.New(1e-9).CacheStats(); ok {
+		t.Error("CacheStats reported a cache that was never attached")
+	}
+	rt := repro.New(1e-9, repro.WithDecisionCache(256))
+	base, baseRep := repro.New(1e-9).Sum(xs)
+	var got float64
+	var rep repro.Report
+	for i := 0; i < 3; i++ {
+		got, rep = rt.Sum(xs)
+	}
+	if math.Float64bits(got) != math.Float64bits(base) || rep.Algorithm != baseRep.Algorithm {
+		t.Errorf("cached runtime diverged: %g/%v vs %g/%v",
+			got, rep.Algorithm, base, baseRep.Algorithm)
+	}
+	st, ok := rt.CacheStats()
+	if !ok || st.Hits < 2 || st.Misses < 1 {
+		t.Errorf("cache stats = %+v ok=%v, want >=2 hits / >=1 miss", st, ok)
+	}
+	if r := st.HitRate(); r <= 0 || r >= 1 {
+		t.Errorf("hit rate = %g", r)
+	}
+	cfg := repro.New(1e-9, repro.WithDecisionCacheConfig(repro.CacheConfig{Capacity: 32, Shards: 2}))
+	if v, _ := cfg.Sum(xs); math.Float64bits(v) != math.Float64bits(base) {
+		t.Error("configured cache changed serving bits")
+	}
+}
