@@ -20,21 +20,25 @@ verify:
 	$(GO) test -run 'Equivalence|Replay|Fused|Allocs|PlanSource|WorkerCounts' ./internal/tree ./internal/grid ./internal/metrics
 	$(GO) test -run 'Equivalence|Allocs|Lane|NonFinite|BatchDeposit' ./internal/kernel ./internal/parallel ./internal/selector
 	$(GO) test -run 'Fused|SpecSum|Cache|SelectAndSum|ProfileOp|Associativity|ArbitrarySplits|Clamp|Nearest|CSum' ./internal/selector ./internal/core
+	$(GO) test -run 'Binned|Merged|Invariance|Permutation|Specials|Ladder|Allocs' ./internal/binned ./internal/sum ./internal/kernel
 
 bench:
 	$(GO) test -bench=. -benchmem
 
 # bench-json records the fused-vs-legacy sweep benchmarks, the batch
-# kernel benchmarks, and the speculative selector benchmarks (two-pass
+# kernel benchmarks, the speculative selector benchmarks (two-pass
 # select-then-sum vs fused single pass vs fused + decision cache, plus
-# the isolated Decide step with cache hit rates) as machine-readable
-# artifacts (compared across PRs, e.g.
-# `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`).
+# the isolated Decide step with cache hit rates), and the binned
+# reproducible engine's headline ratios (vs superacc, two-pass PR, and
+# the ST kernel floor) as machine-readable artifacts (compared across
+# PRs, e.g. `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`,
+# or gated: `go run ./cmd/benchjson -compare -threshold 10 old new`).
 bench-json:
 	$(GO) test ./internal/grid -run '^$$' -bench Sweep -benchmem | $(GO) run ./cmd/benchjson > BENCH_sweep.json
-	$(GO) test ./internal/kernel -run '^$$' -bench . -benchmem | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	$(GO) test ./internal/kernel -run '^$$' -bench Fold -benchmem | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	$(GO) test ./internal/selector -run '^$$' -bench 'SelectSum|Decide' -benchmem | $(GO) run ./cmd/benchjson > BENCH_selector.json
-	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json
+	$(GO) test ./internal/kernel -run '^$$' -bench Binned -benchmem | $(GO) run ./cmd/benchjson > BENCH_binned.json
+	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

@@ -11,9 +11,14 @@
 //
 // With -compare, benchjson instead diffs two previously recorded
 // documents and prints per-benchmark ns/op and B/op deltas, so the perf
-// trajectory across PRs is reviewable at a glance:
+// trajectory across PRs is reviewable at a glance. Benchmarks and
+// custom metric keys present in only one document are reported as
+// added/removed rather than silently skipped, and -threshold turns the
+// comparison into a regression gate: exit status 1 when any shared
+// benchmark's ns/op regressed by more than the given percentage.
 //
 //	benchjson -compare old.json new.json
+//	benchjson -compare -threshold 10 old.json new.json  # CI gate
 package main
 
 import (
@@ -52,17 +57,29 @@ type Report struct {
 func main() {
 	compare := flag.Bool("compare", false,
 		"compare two recorded JSON documents: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0,
+		"with -compare: exit nonzero when any shared benchmark's ns/op regressed by more than this percentage (0 disables gating)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		regressed, err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.1f%%: %s\n",
+				len(regressed), *threshold, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
 		return
+	}
+	if *threshold != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -threshold requires -compare")
+		os.Exit(2)
 	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -96,16 +113,19 @@ func loadReport(path string) (Report, error) {
 }
 
 // compareFiles prints per-benchmark ns/op and B/op deltas between two
-// recorded documents. Benchmarks present in only one document are
-// listed separately so silent coverage drift is visible.
-func compareFiles(w *os.File, oldPath, newPath string) error {
+// recorded documents. Benchmarks — and custom metric keys within a
+// shared benchmark — present in only one document are listed as
+// added/removed so silent coverage drift is visible. When threshold is
+// positive, the returned slice names every shared benchmark whose
+// ns/op regressed by more than threshold percent.
+func compareFiles(w *os.File, oldPath, newPath string, threshold float64) ([]string, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newRep, err := loadReport(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	oldBy := make(map[string]Result, len(oldRep.Results))
 	for _, r := range oldRep.Results {
@@ -127,20 +147,66 @@ func compareFiles(w *os.File, oldPath, newPath string) error {
 		delete(oldBy, r.Name)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var regressed []string
 	fmt.Fprintf(w, "%-52s %14s %14s %8s %12s %12s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "delta", "old B/op", "new B/op", "delta")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-52s %14.1f %14.1f %7.1f%% %12d %12d %7s\n",
 			r.name, r.o.NsPerOp, r.n.NsPerOp, pct(r.o.NsPerOp, r.n.NsPerOp),
 			r.o.BytesPerOp, r.n.BytesPerOp, pctStr(float64(r.o.BytesPerOp), float64(r.n.BytesPerOp)))
+		if threshold > 0 && pct(r.o.NsPerOp, r.n.NsPerOp) > threshold {
+			regressed = append(regressed, r.name)
+		}
+		for _, line := range extraDiff(r.o.Extra, r.n.Extra) {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
 	}
 	for _, name := range onlyNew {
-		fmt.Fprintf(w, "%-52s (only in %s)\n", name, newPath)
+		fmt.Fprintf(w, "%-52s (added: only in %s)\n", name, newPath)
 	}
+	removed := make([]string, 0, len(oldBy))
 	for name := range oldBy {
-		fmt.Fprintf(w, "%-52s (only in %s)\n", name, oldPath)
+		removed = append(removed, name)
 	}
-	return nil
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-52s (removed: only in %s)\n", name, oldPath)
+	}
+	return regressed, nil
+}
+
+// extraDiff renders the custom-metric (Result.Extra) comparison of one
+// shared benchmark: changed values plus keys present on only one side.
+func extraDiff(old, new map[string]float64) []string {
+	if len(old) == 0 && len(new) == 0 {
+		return nil
+	}
+	keys := make(map[string]bool, len(old)+len(new))
+	for k := range old {
+		keys[k] = true
+	}
+	for k := range new {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var out []string
+	for _, k := range sorted {
+		ov, inOld := old[k]
+		nv, inNew := new[k]
+		switch {
+		case !inOld:
+			out = append(out, fmt.Sprintf("%s: %g (added metric)", k, nv))
+		case !inNew:
+			out = append(out, fmt.Sprintf("%s: %g (removed metric)", k, ov))
+		default:
+			out = append(out, fmt.Sprintf("%s: %g -> %g (%+.1f%%)", k, ov, nv, pct(ov, nv)))
+		}
+	}
+	return out
 }
 
 // pct returns the relative change from old to new in percent; negative

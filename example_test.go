@@ -13,7 +13,7 @@ func ExampleNew() {
 	rt := repro.New(0) // bitwise reproducibility required
 	total, report := rt.Sum(values)
 	fmt.Println(total, report.Algorithm)
-	// Output: 4.5 PR
+	// Output: 4.5 BN
 }
 
 // Fixed algorithms are available directly; compensated and prerounded

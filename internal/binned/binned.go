@@ -1,0 +1,578 @@
+// Package binned implements single-pass binned reproducible summation —
+// the fast-reproducible middle rung of the cost ladder, after Demmel &
+// Nguyen's indexed (binned) accumulation.
+//
+// The float64 exponent range is partitioned into fixed, absolute bins of
+// BinWidth = 32 bits: bin j holds multiples of the quantum q_j =
+// 2^(32j-1074). Each operand is pre-rounded into Folds = 3 chunks, one
+// per bin, starting at the operand's own top bin (located by one shift
+// of the raw exponent field); chunk f is extracted with the Dekker
+// round-to-multiple trick and the residual below the lowest chunk is
+// discarded. Unlike the windowed prerounded operator (sum.PRConfig),
+// the bin grid spans the whole exponent range, so
+//
+//   - the retained value r(x) of an operand is a pure function of x
+//     alone (never of accumulator state, a running max, or a window),
+//   - every deposit, carry, and merge is an exact floating-point
+//     operation (chunks are exact multiples of their bin's quantum and
+//     bin magnitudes are kept under 2^53 quanta by a fixed
+//     renormalization schedule), and
+//   - Finalize rounds the exact represented value Σ r(x_i) with an
+//     exact superaccumulator pass over the ~66 bins.
+//
+// The represented value is therefore the same real number for every
+// deposit order, chunking, merge tree, worker count, and lane width —
+// and Finalize is a pure function of that value — so the result is
+// bitwise identical under all of them. Renormalization timing (which
+// moves bits between bins but never changes the represented value)
+// cannot affect the result, which is what frees the carry schedule to
+// be a pure amortized-cost knob instead of part of the plan.
+//
+// Accuracy: each operand retains Folds*BinWidth = 96 bins-worth of
+// low-bound 64 significant bits below its own leading bit (the dropped
+// residual is < 2^-65 |x|), so the relative error of the final sum is
+// bounded by ~2^-64 · K(x) where K is the sum condition number —
+// between Neumaier (53-bit compensated) and composite precision
+// (~106-bit), at a small constant factor over the plain ST loop.
+//
+// Capacity is unbounded: a renormalization pass runs every renormEvery
+// deposits (and on demand at merges), restoring per-bin headroom, so
+// any number of operands can be absorbed — unlike the windowed PR
+// operator's 2^(52-W) cap.
+//
+// Top-of-range handling: bins 64 and 65 (operand magnitudes >= 2^974)
+// are stored scaled by 2^-512 so their totals cannot overflow float64;
+// Finalize deposits them at their true weight. The exactness guarantee
+// there holds up to ~2^34 such huge operands — beyond that the top
+// bin's total can exceed 2^53 of its quantum (strictly wider coverage
+// than the windowed PR operator, which voids its guarantee above 2^1020
+// for any count). NaN and ±Inf operands are tallied outside the bins
+// and reproduce IEEE semantics order-invariantly: any NaN, or both Inf
+// signs, yields NaN; otherwise an Inf sign wins; a represented value
+// beyond the float64 range rounds to ±Inf.
+package binned
+
+import (
+	"math"
+
+	"repro/internal/superacc"
+)
+
+const (
+	// BinWidth is the bin width in bits. 32 makes the exponent-to-bin
+	// map a single shift of the raw exponent field.
+	BinWidth = 32
+	// Folds is the number of chunks each operand deposits (its own top
+	// bin and the two below), retaining ~64 significant bits per
+	// operand.
+	Folds = 3
+
+	// binShift is log2(BinWidth).
+	binShift = 5
+	// numBins covers bin indices 0..65: (1023+1074)/32 = 65 is the top
+	// bin of the largest finite float64.
+	numBins = 66
+	// pad adds Folds-1 dead slots below bin 0 so the deposit loop never
+	// indexes negative bins (chunks there are always exactly zero: every
+	// value with top bin <= 1 is a multiple of q_0 = 2^-1074).
+	pad = Folds - 1
+	// numSlots is the length of the bin array; slot(j) = j + pad.
+	numSlots = numBins + pad
+
+	// hiBin is the first scaled bin: bins hiBin.. are stored multiplied
+	// by 2^-scaleSH so their totals stay far from float64 overflow.
+	hiBin = 64
+	// hiEF is the raw-exponent-field threshold routing deposits to the
+	// scaled slow path: ef >= hiEF means top bin >= hiBin (|x| >= 2^974)
+	// or a non-finite value (ef == 0x7ff).
+	hiEF = hiBin<<binShift - 51
+	// scaleSH is the power-of-two scaling of the hi bins.
+	scaleSH = 512
+
+	// renormEvery is the fixed carry schedule: after this many deposits
+	// a renormalization pass restores per-bin headroom. The bound keeps
+	// every bin total under 2^53 quanta (the exact-accumulation limit):
+	// a renormalized bin holds at most 2^31 quanta and each deposit adds
+	// at most 2^32, so 2^31 + renormEvery*2^32 <= 2^53 requires
+	// renormEvery <= 2^20 (with 2x margin left for merges, see Merge).
+	renormEvery = 1 << 20
+)
+
+// bigTab[s] is the Dekker rounding constant 1.5*2^(q+52) for the bin at
+// slot s (quantum exponent q = (s-pad)*BinWidth - 1074). Pad slots hold
+// 0 — they are only ever "rounded" against an exactly zero residual.
+// Slots hiBin+pad.. hold the scaled constants (q reduced by scaleSH).
+var bigTab [numSlots]float64
+
+func init() {
+	for j := 0; j < numBins; j++ {
+		q := j*BinWidth - 1074
+		if j >= hiBin {
+			q -= scaleSH
+		}
+		bigTab[j+pad] = math.Ldexp(1.5, q+52)
+	}
+}
+
+// State is a binned partial-reduction state. The zero value is an empty
+// accumulator ready to use. States merge exactly (Merge) and finalize
+// to a float64 that is bitwise identical for every way of splitting and
+// ordering the same multiset of operands.
+type State struct {
+	// bins[j+pad] is the bin-j total: an exact multiple of q_j
+	// (2^-scaleSH q_j for j >= hiBin) of magnitude < 2^53 quanta.
+	bins [numSlots]float64
+	// count is the number of operands absorbed (including zeros and
+	// non-finite values); it never influences Finalize.
+	count int64
+	// pend counts deposits since the last renormalization.
+	pend int64
+	// posInf/negInf tally ±Inf operands; nan records any NaN operand.
+	posInf, negInf int64
+	nan            bool
+}
+
+// Count returns the number of operands absorbed.
+func (st *State) Count() int64 { return st.count }
+
+// Reset restores st to the empty state.
+func (st *State) Reset() { *st = State{} }
+
+// Add folds one operand into the state.
+func (st *State) Add(x float64) {
+	ef := int(math.Float64bits(x) >> 52 & 0x7ff)
+	if ef >= hiEF {
+		st.addSlow(x, ef)
+		return
+	}
+	s := uint(ef+51) >> binShift
+	b0 := bigTab[s+pad]
+	c0 := (b0 + x) - b0
+	r := x - c0
+	st.bins[s+pad] += c0
+	b1 := bigTab[s+pad-1]
+	c1 := (b1 + r) - b1
+	r -= c1
+	st.bins[s+pad-1] += c1
+	b2 := bigTab[s+pad-2]
+	c2 := (b2 + r) - b2
+	st.bins[s+pad-2] += c2
+	st.count++
+	st.pend++
+	if st.pend >= renormEvery {
+		st.renorm()
+	}
+}
+
+// addSlow handles the rare top-of-range and non-finite operands
+// (ef >= hiEF). Huge operands are chunked in the 2^-scaleSH domain;
+// chunks landing below hiBin are scaled back up (exactly) before
+// depositing.
+func (st *State) addSlow(x float64, ef int) {
+	st.count++
+	if ef == 0x7ff {
+		switch {
+		case math.IsNaN(x):
+			st.nan = true
+		case x > 0:
+			st.posInf++
+		default:
+			st.negInf++
+		}
+		return
+	}
+	j := (ef + 51) >> binShift // 64 or 65
+	r := x * (0x1p-512)        // exact: |x| >= 2^974
+	for f := 0; f < Folds; f++ {
+		jj := j - f
+		var big float64
+		if jj >= hiBin {
+			big = bigTab[jj+pad]
+		} else {
+			// Scaled constant for an unscaled bin: quantum exponent
+			// (jj*BinWidth - 1074) - scaleSH.
+			big = math.Ldexp(1.5, jj*BinWidth-1074-scaleSH+52)
+		}
+		c := (big + r) - big
+		r -= c
+		if jj >= hiBin {
+			st.bins[jj+pad] += c
+		} else {
+			st.bins[jj+pad] += c * (0x1p512) // exact rescale
+		}
+	}
+	st.pend++
+	if st.pend >= renormEvery {
+		st.renorm()
+	}
+}
+
+// renorm runs one carry pass, bottom bin up: each bin's total is
+// rounded to a multiple of the next bin's quantum, the rounded part
+// carries up, and the exact residual (at most 2^31 quanta) stays. Every
+// operation is exact, so the represented value never changes — which is
+// why the carry schedule is not part of the reproducibility contract.
+func (st *State) renorm() {
+	// Unscaled bins 0..hiBin-2 carry within the unscaled domain. The
+	// deposit constant of bin j+1 is exactly the rounding constant for
+	// "multiple of q_{j+1}".
+	for s := pad; s < hiBin+pad-1; s++ {
+		v := st.bins[s]
+		if v == 0 {
+			continue
+		}
+		big := bigTab[s+1]
+		c := (big + v) - big
+		if c != 0 {
+			st.bins[s] = v - c
+			st.bins[s+1] += c
+		}
+	}
+	// Bin hiBin-1 carries into the scaled domain: round in the
+	// 2^-scaleSH frame, keep the residual unscaled.
+	if v := st.bins[hiBin+pad-1]; v != 0 {
+		vs := v * (0x1p-512) // exact: v is a multiple of q_63 = 2^942
+		big := bigTab[hiBin+pad]
+		c := (big + vs) - big
+		if c != 0 {
+			st.bins[hiBin+pad-1] = (vs - c) * (0x1p512)
+			st.bins[hiBin+pad] += c
+		}
+	}
+	// Scaled bin hiBin carries to the top bin, all in the scaled frame.
+	if v := st.bins[hiBin+pad]; v != 0 {
+		big := bigTab[hiBin+pad+1]
+		c := (big + v) - big
+		if c != 0 {
+			st.bins[hiBin+pad] = v - c
+			st.bins[hiBin+pad+1] += c
+		}
+	}
+	// The top bin has no carry target; its headroom bounds are
+	// documented in the package comment.
+	st.pend = 0
+}
+
+// Merge folds o into st, exactly. o is left unchanged. The result
+// represents exactly the sum of the two represented values, so merging
+// in any order or tree shape yields the same Finalize bits.
+func (st *State) Merge(o *State) {
+	for s := range st.bins {
+		st.bins[s] += o.bins[s]
+	}
+	st.count += o.count
+	st.posInf += o.posInf
+	st.negInf += o.negInf
+	st.nan = st.nan || o.nan
+	// Two renormalized-plus-deposits states add to at most
+	// 2^32 + (pendA+pendB)*2^32 quanta; the +1 folds the doubled
+	// residual term back into the standard pend bound.
+	st.pend += o.pend + 1
+	if st.pend >= renormEvery {
+		st.renorm()
+	}
+}
+
+// Finalize rounds the represented value to the nearest float64 (ties to
+// even) via an exact superaccumulator pass over the bins. It does not
+// modify st. NaN and ±Inf tallies reproduce IEEE semantics: any NaN or
+// both Inf signs give NaN, otherwise a present Inf sign wins.
+func (st *State) Finalize() float64 {
+	if st.nan || (st.posInf > 0 && st.negInf > 0) {
+		return math.NaN()
+	}
+	if st.posInf > 0 {
+		return math.Inf(1)
+	}
+	if st.negInf > 0 {
+		return math.Inf(-1)
+	}
+	var sa superacc.Acc
+	for s := 0; s < hiBin+pad; s++ {
+		if v := st.bins[s]; v != 0 {
+			sa.Add(v)
+		}
+	}
+	for s := hiBin + pad; s < numSlots; s++ {
+		if v := st.bins[s]; v != 0 {
+			sa.AddLdexp(v, scaleSH)
+		}
+	}
+	return sa.Float64()
+}
+
+// Sum computes the one-shot binned reproducible sum of xs.
+func Sum(xs []float64) float64 {
+	var st State
+	st.AddSlice(xs)
+	return st.Finalize()
+}
+
+// AddSlice folds every element of xs into st with the batch kernel:
+// renormalization bookkeeping is hoisted out of the element loop (one
+// check per renormEvery elements) and the deposit loop runs two
+// interleaved bin arrays to break the per-element extraction dependency
+// chain. Because every deposit and lane merge is exact, the result is
+// bit-identical to element-wise Add — lane count and batch boundaries
+// are pure speed knobs, not part of the plan.
+func (st *State) AddSlice(xs []float64) {
+	st.addSliceLanes(xs, 2)
+}
+
+// AddSliceLanes is AddSlice with an explicit interleave width k (1, 2,
+// 4, or 8; 8 runs the widest 4-lane kernel). All widths produce
+// bit-identical states.
+func (st *State) AddSliceLanes(xs []float64, k int) {
+	switch k {
+	case 1, 2, 4, 8:
+		st.addSliceLanes(xs, k)
+	default:
+		panic("binned: invalid lane width (want 1, 2, 4, or 8)")
+	}
+}
+
+func (st *State) addSliceLanes(xs []float64, k int) {
+	for len(xs) > 0 {
+		batch := xs
+		if budget := renormEvery - st.pend; int64(len(batch)) > budget {
+			batch = batch[:budget]
+		}
+		switch {
+		case k >= 4:
+			st.batch4(batch)
+		case k == 2:
+			st.batch2(batch)
+		default:
+			st.batch1(batch)
+		}
+		st.count += int64(len(batch))
+		st.pend += int64(len(batch))
+		if st.pend >= renormEvery {
+			st.renorm()
+		}
+		xs = xs[len(batch):]
+	}
+}
+
+// batch1 deposits directly into the state's bins, serially.
+func (st *State) batch1(xs []float64) {
+	b := &st.bins
+	for _, x := range xs {
+		ef := int(math.Float64bits(x) >> 52 & 0x7ff)
+		if ef >= hiEF {
+			st.slowNoCount(x, ef)
+			continue
+		}
+		s := uint(ef+51) >> binShift
+		b0 := bigTab[s+pad]
+		c0 := (b0 + x) - b0
+		r := x - c0
+		b[s+pad] += c0
+		b1 := bigTab[s+pad-1]
+		c1 := (b1 + r) - b1
+		r -= c1
+		b[s+pad-1] += c1
+		b2 := bigTab[s+pad-2]
+		c2 := (b2 + r) - b2
+		b[s+pad-2] += c2
+	}
+}
+
+// batch2 interleaves two local bin arrays and folds them into the state
+// afterwards (all exact adds).
+func (st *State) batch2(xs []float64) {
+	var la, lb [numSlots]float64
+	n := len(xs)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		x, y := xs[i], xs[i+1]
+		efx := int(math.Float64bits(x) >> 52 & 0x7ff)
+		efy := int(math.Float64bits(y) >> 52 & 0x7ff)
+		if efx >= hiEF || efy >= hiEF {
+			st.slowPair(x, efx, y, efy, &la, &lb)
+			continue
+		}
+		sx := uint(efx+51) >> binShift
+		sy := uint(efy+51) >> binShift
+		bx0 := bigTab[sx+pad]
+		by0 := bigTab[sy+pad]
+		cx0 := (bx0 + x) - bx0
+		cy0 := (by0 + y) - by0
+		rx := x - cx0
+		ry := y - cy0
+		la[sx+pad] += cx0
+		lb[sy+pad] += cy0
+		bx1 := bigTab[sx+pad-1]
+		by1 := bigTab[sy+pad-1]
+		cx1 := (bx1 + rx) - bx1
+		cy1 := (by1 + ry) - by1
+		rx -= cx1
+		ry -= cy1
+		la[sx+pad-1] += cx1
+		lb[sy+pad-1] += cy1
+		bx2 := bigTab[sx+pad-2]
+		by2 := bigTab[sy+pad-2]
+		cx2 := (bx2 + rx) - bx2
+		cy2 := (by2 + ry) - by2
+		la[sx+pad-2] += cx2
+		lb[sy+pad-2] += cy2
+	}
+	if i < n {
+		depositOne(&la, st, xs[i])
+	}
+	for s := range st.bins {
+		if v := la[s] + lb[s]; v != 0 {
+			st.bins[s] += v
+		}
+	}
+}
+
+// batch4 interleaves four local bin arrays.
+func (st *State) batch4(xs []float64) {
+	var l0, l1, l2, l3 [numSlots]float64
+	lanes := [4]*[numSlots]float64{&l0, &l1, &l2, &l3}
+	n := len(xs)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		e0 := int(math.Float64bits(x0) >> 52 & 0x7ff)
+		e1 := int(math.Float64bits(x1) >> 52 & 0x7ff)
+		e2 := int(math.Float64bits(x2) >> 52 & 0x7ff)
+		e3 := int(math.Float64bits(x3) >> 52 & 0x7ff)
+		if e0 >= hiEF || e1 >= hiEF || e2 >= hiEF || e3 >= hiEF {
+			depositOne(&l0, st, x0)
+			depositOne(&l1, st, x1)
+			depositOne(&l2, st, x2)
+			depositOne(&l3, st, x3)
+			continue
+		}
+		s0 := uint(e0+51) >> binShift
+		s1 := uint(e1+51) >> binShift
+		s2 := uint(e2+51) >> binShift
+		s3 := uint(e3+51) >> binShift
+		b00 := bigTab[s0+pad]
+		b10 := bigTab[s1+pad]
+		b20 := bigTab[s2+pad]
+		b30 := bigTab[s3+pad]
+		c00 := (b00 + x0) - b00
+		c10 := (b10 + x1) - b10
+		c20 := (b20 + x2) - b20
+		c30 := (b30 + x3) - b30
+		r0 := x0 - c00
+		r1 := x1 - c10
+		r2 := x2 - c20
+		r3 := x3 - c30
+		l0[s0+pad] += c00
+		l1[s1+pad] += c10
+		l2[s2+pad] += c20
+		l3[s3+pad] += c30
+		b01 := bigTab[s0+pad-1]
+		b11 := bigTab[s1+pad-1]
+		b21 := bigTab[s2+pad-1]
+		b31 := bigTab[s3+pad-1]
+		c01 := (b01 + r0) - b01
+		c11 := (b11 + r1) - b11
+		c21 := (b21 + r2) - b21
+		c31 := (b31 + r3) - b31
+		r0 -= c01
+		r1 -= c11
+		r2 -= c21
+		r3 -= c31
+		l0[s0+pad-1] += c01
+		l1[s1+pad-1] += c11
+		l2[s2+pad-1] += c21
+		l3[s3+pad-1] += c31
+		b02 := bigTab[s0+pad-2]
+		b12 := bigTab[s1+pad-2]
+		b22 := bigTab[s2+pad-2]
+		b32 := bigTab[s3+pad-2]
+		c02 := (b02 + r0) - b02
+		c12 := (b12 + r1) - b12
+		c22 := (b22 + r2) - b22
+		c32 := (b32 + r3) - b32
+		l0[s0+pad-2] += c02
+		l1[s1+pad-2] += c12
+		l2[s2+pad-2] += c22
+		l3[s3+pad-2] += c32
+	}
+	for ; i < n; i++ {
+		depositOne(lanes[i&3], st, xs[i])
+	}
+	for s := range st.bins {
+		// Pairwise exact lane folds stay within the 2^53-quanta bound.
+		if v := (l0[s] + l1[s]) + (l2[s] + l3[s]); v != 0 {
+			st.bins[s] += v
+		}
+	}
+}
+
+// depositOne deposits x into local bin array b, diverting top-of-range
+// and non-finite operands to the state's slow path.
+func depositOne(b *[numSlots]float64, st *State, x float64) {
+	ef := int(math.Float64bits(x) >> 52 & 0x7ff)
+	if ef >= hiEF {
+		st.slowNoCount(x, ef)
+		return
+	}
+	s := uint(ef+51) >> binShift
+	b0 := bigTab[s+pad]
+	c0 := (b0 + x) - b0
+	r := x - c0
+	b[s+pad] += c0
+	b1 := bigTab[s+pad-1]
+	c1 := (b1 + r) - b1
+	r -= c1
+	b[s+pad-1] += c1
+	b2 := bigTab[s+pad-2]
+	c2 := (b2 + r) - b2
+	b[s+pad-2] += c2
+}
+
+// slowPair routes an unrolled pair through the slow path as needed,
+// keeping in-range elements on their lanes.
+func (st *State) slowPair(x float64, efx int, y float64, efy int, la, lb *[numSlots]float64) {
+	if efx >= hiEF {
+		st.slowNoCount(x, efx)
+	} else {
+		depositOne(la, st, x)
+	}
+	if efy >= hiEF {
+		st.slowNoCount(y, efy)
+	} else {
+		depositOne(lb, st, y)
+	}
+}
+
+// slowNoCount is addSlow without the count/pend bookkeeping (the batch
+// loop accounts for the whole slice at once).
+func (st *State) slowNoCount(x float64, ef int) {
+	if ef == 0x7ff {
+		switch {
+		case math.IsNaN(x):
+			st.nan = true
+		case x > 0:
+			st.posInf++
+		default:
+			st.negInf++
+		}
+		return
+	}
+	j := (ef + 51) >> binShift
+	r := x * (0x1p-512)
+	for f := 0; f < Folds; f++ {
+		jj := j - f
+		var big float64
+		if jj >= hiBin {
+			big = bigTab[jj+pad]
+		} else {
+			big = math.Ldexp(1.5, jj*BinWidth-1074-scaleSH+52)
+		}
+		c := (big + r) - big
+		r -= c
+		if jj >= hiBin {
+			st.bins[jj+pad] += c
+		} else {
+			st.bins[jj+pad] += c * (0x1p512)
+		}
+	}
+}

@@ -264,7 +264,8 @@ type BlockReport struct {
 // HierarchicalSum implements subtree-level selection: xs is split into
 // blocks of blockSize, each block is profiled independently and reduced
 // with its own cheapest acceptable algorithm, and the block partials
-// are combined with the prerounded operator so the combination step
+// are combined with the cheapest reproducible operator on the ladder
+// (sum.CheapestReproducible — the binned rung) so the combination step
 // never reintroduces order sensitivity.
 //
 // Blocks whose local data is benign (same sign, narrow range) get the
@@ -279,9 +280,9 @@ type BlockReport struct {
 //
 // With the engine enabled, blocks are profiled and summed concurrently
 // on the worker pool. Each block's result is a pure function of the
-// block's elements and the partials are folded in block order with the
-// prerounded operator, so the global result is bitwise-identical to the
-// sequential run regardless of worker count.
+// block's elements and the partials are folded in block order with a
+// reproducible operator, so the global result is bitwise-identical to
+// the sequential run regardless of worker count.
 func (rt *Runtime) HierarchicalSum(xs []float64, blockSize int) (float64, []BlockReport) {
 	if blockSize <= 0 {
 		blockSize = 4096
@@ -307,10 +308,11 @@ func (rt *Runtime) HierarchicalSum(xs []float64, blockSize int) (float64, []Bloc
 		vals[i] = v
 		reports[i] = BlockReport{Start: lo, End: hi, Report: rep}
 	})
-	// Block partials are folded with PR so the final combination is
-	// insensitive to block order (e.g. if blocks completed on different
-	// ranks at different times); the fold runs in block order anyway.
-	acc := sum.NewPreroundedAcc(sum.DefaultPRConfig())
+	// Block partials are folded with the cheapest reproducible rung of
+	// the ladder so the final combination is insensitive to block order
+	// (e.g. if blocks completed on different ranks at different times);
+	// the fold runs in block order anyway.
+	acc := sum.CheapestReproducible().NewAccumulator()
 	for _, v := range vals {
 		acc.Add(v)
 	}

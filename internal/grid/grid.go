@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bigref"
+	"repro/internal/binned"
 	"repro/internal/fpu"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -386,6 +387,8 @@ func AlgLane(alg sum.Algorithm) tree.Lane {
 		return tree.NewLane(sum.CPMonoid{})
 	case sum.PreroundedAlg:
 		return tree.NewLane[sum.PRState](sum.DefaultPRConfig().Monoid())
+	case sum.BinnedAlg:
+		return tree.NewLane[binned.State](sum.BNMonoid{})
 	}
 	panic("grid: invalid algorithm " + alg.String())
 }
@@ -481,6 +484,8 @@ func AlgSpread(alg sum.Algorithm, shape tree.Shape, xs []float64, trials int, rn
 		return tree.Spread(sum.CPMonoid{}, shape, xs, trials, rng)
 	case sum.PreroundedAlg:
 		return tree.Spread[sum.PRState](sum.DefaultPRConfig().Monoid(), shape, xs, trials, rng)
+	case sum.BinnedAlg:
+		return tree.Spread[binned.State](sum.BNMonoid{}, shape, xs, trials, rng)
 	}
 	panic("grid: invalid algorithm " + alg.String())
 }

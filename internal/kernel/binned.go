@@ -1,0 +1,25 @@
+package kernel
+
+import "repro/internal/binned"
+
+// Binned folds xs into a fresh binned reproducible partial state with
+// the batch deposit kernel: carry bookkeeping hoisted per batch and a
+// two-way interleaved deposit loop. Unlike the lane kernels for ST/K/N,
+// interleaving cannot change the result — every deposit and lane fold
+// is exact — so this is bit-identical to the element-wise accumulator
+// for any input.
+func Binned(xs []float64) binned.State {
+	var st binned.State
+	st.AddSlice(xs)
+	return st
+}
+
+// LaneBinned is Binned with an explicit interleave width k (1, 2, 4, or
+// 8). All widths produce bit-identical states; width is purely an
+// instruction-level-parallelism knob, so — uniquely among the lane
+// kernels — it is safe to vary per machine without changing the plan.
+func LaneBinned(xs []float64, k int) binned.State {
+	var st binned.State
+	st.AddSliceLanes(xs, k)
+	return st
+}

@@ -1,0 +1,94 @@
+package kernel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/binned"
+	"repro/internal/kernel"
+	"repro/internal/sum"
+	"repro/internal/superacc"
+)
+
+var sinkBN binned.State
+
+// TestBinnedKernelEquivalenceAndAllocs pins the kernel contract: every
+// lane width produces a state bit-identical to the element-wise
+// accumulator, and the fast path performs zero heap allocations.
+func TestBinnedKernelEquivalenceAndAllocs(t *testing.T) {
+	xs := benchData()[:65536]
+	var ref binned.State
+	for _, x := range xs {
+		ref.Add(x)
+	}
+	want := math.Float64bits(ref.Finalize())
+	st := kernel.Binned(xs)
+	if got := math.Float64bits(st.Finalize()); got != want {
+		t.Fatalf("kernel.Binned: %x != element-wise %x", got, want)
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		lst := kernel.LaneBinned(xs, k)
+		if got := math.Float64bits(lst.Finalize()); got != want {
+			t.Fatalf("LaneBinned(k=%d): %x != element-wise %x", k, got, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		sinkBN = kernel.LaneBinned(xs, 4)
+		sinkF = sinkBN.Finalize()
+	})
+	if allocs != 0 {
+		t.Fatalf("LaneBinned+Finalize allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkBinnedSum1M is the headline artifact benchmark: the binned
+// reproducible kernel over the canonical 1M-element workload, at each
+// interleave width. All widths produce identical bits; only throughput
+// varies (see TestBinnedKernelEquivalenceAndAllocs for the 0-alloc
+// contract).
+func BenchmarkBinnedSum1M(b *testing.B) {
+	xs := benchData()
+	b.Run("kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := kernel.Binned(xs)
+			sinkF = st.Finalize()
+		}
+	})
+	for _, k := range []int{2, 4, 8} {
+		b.Run("lane"+string(rune('0'+k)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := kernel.LaneBinned(xs, k)
+				sinkF = st.Finalize()
+			}
+		})
+	}
+}
+
+// BenchmarkBinnedVsAlternatives1M frames the acceptance ratios directly:
+// binned vs the full superaccumulator, vs the two-pass prerounded
+// engine at its cheapest fold budget, and vs the non-reproducible ST
+// kernel floor.
+func BenchmarkBinnedVsAlternatives1M(b *testing.B) {
+	xs := benchData()
+	b.Run("binned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := kernel.LaneBinned(xs, 4)
+			sinkF = st.Finalize()
+		}
+	})
+	b.Run("superacc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkF = superacc.Sum(xs)
+		}
+	})
+	b.Run("prtwopass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkF = sum.PreroundedTwoPass(xs, 2)
+		}
+	})
+	b.Run("stkernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkF = kernel.ST(xs)
+		}
+	})
+}

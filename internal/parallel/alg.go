@@ -3,6 +3,7 @@ package parallel
 import (
 	"fmt"
 
+	"repro/internal/binned"
 	"repro/internal/kernel"
 	"repro/internal/sum"
 	"repro/internal/superacc"
@@ -91,6 +92,18 @@ func algSum(alg sum.Algorithm, xs []float64, cfg Config, seq bool) float64 {
 		return Reduce(sum.CPMonoid{}, xs, cfg)
 	case sum.PreroundedAlg:
 		return prSum(sum.DefaultPRConfig(), xs, cfg, seq)
+	case sum.BinnedAlg:
+		// Binned chunks fold with the batch kernel at the configured lane
+		// width; deposits and merges are exact, so the result is invariant
+		// to the lane width and the chunk plan itself, like PR.
+		m := sum.BNMonoid{}
+		st, ok := mapReduce(len(xs), cfg, seq,
+			func(lo, hi int) binned.State { return kernel.LaneBinned(xs[lo:hi], lw) },
+			m.Merge)
+		if !ok {
+			return 0
+		}
+		return m.Finalize(st)
 	}
 	panic("parallel: invalid algorithm " + alg.String())
 }

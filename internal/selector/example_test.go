@@ -24,7 +24,7 @@ func ExampleHeuristicPolicy_Select() {
 	fmt.Println("bitwise contract:", algBit)
 	// Output:
 	// easy data: ST
-	// bitwise contract: PR
+	// bitwise contract: BN
 }
 
 // TunePR sizes the prerounded operator's fold budget to the tolerance.

@@ -76,21 +76,25 @@ func (hp HeuristicPolicy) Predict(alg sum.Algorithm, p Profile) float64 {
 		return hp.Params.CK * u * k // same first-order behavior as Kahan
 	case sum.CompositeAlg:
 		return hp.Params.CCP * n * u * u * k
-	case sum.PreroundedAlg:
+	case sum.PreroundedAlg, sum.BinnedAlg:
+		// Bitwise reproducible by construction.
 		return 0
 	}
 	return math.Inf(1)
 }
 
-// Select implements Policy: the cheapest paper algorithm whose predicted
-// variability meets the requirement; PR is the unconditional fallback.
+// Select implements Policy: the cheapest ladder algorithm whose
+// predicted variability meets the requirement. The ladder ends in
+// reproducible rungs predicting 0, so the walk always terminates; the
+// cheapest reproducible algorithm is the safety net if it somehow
+// doesn't.
 func (hp HeuristicPolicy) Select(p Profile, req Requirement) (sum.Algorithm, float64) {
-	for _, alg := range sum.PaperAlgorithms {
+	for _, alg := range sum.SelectionLadder {
 		if pred := hp.Predict(alg, p); pred <= req.Tolerance {
 			return alg, pred
 		}
 	}
-	return sum.PreroundedAlg, 0
+	return sum.CheapestReproducible(), 0
 }
 
 // CalibratedPolicy selects from measured variability: a table of grid
@@ -228,7 +232,10 @@ func (cp *CalibratedPolicy) Select(p Profile, req Requirement) (sum.Algorithm, f
 			return c.alg, c.pred
 		}
 	}
-	return sum.PreroundedAlg, 0
+	// No measured column met the tolerance (calibration tables need not
+	// include a reproducible algorithm): escalate to the cheapest
+	// reproducible rung of the ladder rather than a hardcoded one.
+	return sum.CheapestReproducible(), 0
 }
 
 // Cells exposes the calibration table (for persistence and reports).

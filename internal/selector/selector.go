@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"repro/internal/binned"
 	"repro/internal/mpirt"
 	"repro/internal/sum"
 	"repro/internal/tree"
@@ -68,6 +69,8 @@ func ReduceTreeWith(alg sum.Algorithm, p tree.Plan, xs []float64) float64 {
 		return tree.Reduce(sum.CPMonoid{}, p, xs)
 	case sum.PreroundedAlg:
 		return tree.Reduce[sum.PRState](sum.DefaultPRConfig().Monoid(), p, xs)
+	case sum.BinnedAlg:
+		return tree.Reduce[binned.State](sum.BNMonoid{}, p, xs)
 	}
 	panic("selector: invalid algorithm " + alg.String())
 }

@@ -114,17 +114,18 @@ func TestHeuristicSelectionByTolerance(t *testing.T) {
 	if alg, _ := s.Choose(easy); alg != sum.StandardAlg {
 		t.Errorf("easy data should pick ST, got %v", alg)
 	}
-	// Same data, bitwise requirement: PR.
+	// Same data, bitwise requirement: the cheapest reproducible rung,
+	// now BN.
 	s.Req.Tolerance = 0
-	if alg, _ := s.Choose(easy); alg != sum.PreroundedAlg {
-		t.Errorf("t=0 should pick PR, got %v", alg)
+	if alg, _ := s.Choose(easy); alg != sum.BinnedAlg {
+		t.Errorf("t=0 should pick BN, got %v", alg)
 	}
-	// Fully cancelling data: predictions blow up to Inf -> PR for any
-	// finite tolerance.
+	// Fully cancelling data: predictions blow up to Inf -> the
+	// reproducible rung for any finite tolerance.
 	zero := gen.SumZeroSeries(1024, 16, 7)
 	s.Req.Tolerance = 1e-6
-	if alg, _ := s.Choose(zero); alg != sum.PreroundedAlg {
-		t.Errorf("k=inf should pick PR, got %v", alg)
+	if alg, _ := s.Choose(zero); alg != sum.BinnedAlg {
+		t.Errorf("k=inf should pick BN, got %v", alg)
 	}
 }
 
@@ -156,13 +157,13 @@ func TestSelectorSumUsesChoice(t *testing.T) {
 }
 
 func TestReduceTreeRespectsChoice(t *testing.T) {
-	s := New(0) // bitwise: PR
+	s := New(0) // bitwise: a reproducible rung
 	xs := gen.SumZeroSeries(2048, 24, 10)
 	r := fpu.NewRNG(11)
 	vals := map[float64]bool{}
 	for i := 0; i < 10; i++ {
 		v, alg := s.ReduceTree(tree.NewPlan(tree.Random, len(xs), r), xs)
-		if alg != sum.PreroundedAlg {
+		if !alg.Reproducible() {
 			t.Fatalf("alg = %v", alg)
 		}
 		vals[v] = true
@@ -259,8 +260,8 @@ func TestAdaptiveReduceBitwiseUnderNondeterminism(t *testing.T) {
 		err := w.Run(func(r *mpirt.Rank) {
 			lo, hi := r.ID*per, (r.ID+1)*per
 			if v, alg, ok := AdaptiveReduce(r, 0, xs[lo:hi], s, mpirt.Binomial, mpirt.ArrivalOrder); ok {
-				if alg != sum.PreroundedAlg {
-					panic("t=0 must select PR")
+				if !alg.Reproducible() {
+					panic("t=0 must select a reproducible algorithm")
 				}
 				got = v
 			}

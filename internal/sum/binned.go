@@ -1,0 +1,71 @@
+package sum
+
+import (
+	"repro/internal/binned"
+	"repro/internal/reduce"
+)
+
+// This file adapts internal/binned — the single-pass binned (indexed)
+// reproducible engine, the ladder's fast-reproducible middle rung — to
+// the sum package's three algorithm forms (one-shot, streaming
+// Accumulator, mergeable Monoid). The numerical machinery and the
+// order-invariance argument live in the binned package.
+
+// Binned computes the one-shot binned reproducible sum of xs: bitwise
+// identical for every permutation, chunking, and reduction tree over
+// the same operands, at a small constant factor over Standard.
+func Binned(xs []float64) float64 { return binned.Sum(xs) }
+
+// BinnedAcc is the streaming accumulator form of the binned engine.
+// The zero value is ready to use.
+type BinnedAcc struct {
+	st binned.State
+}
+
+// Add folds one value into the accumulator.
+func (a *BinnedAcc) Add(x float64) { a.st.Add(x) }
+
+// AddSlice folds a whole slice with the batch kernel (bit-identical to
+// element-wise Add, with the carry bookkeeping hoisted per batch).
+func (a *BinnedAcc) AddSlice(xs []float64) { a.st.AddSlice(xs) }
+
+// Sum rounds the current state to float64. It does not modify the
+// accumulator; more values may be added afterwards.
+func (a *BinnedAcc) Sum() float64 { return a.st.Finalize() }
+
+// Reset restores the accumulator to zero.
+func (a *BinnedAcc) Reset() { a.st.Reset() }
+
+// State returns the current mergeable partial state.
+func (a *BinnedAcc) State() binned.State { return a.st }
+
+// BNMonoid is the mergeable reduction operator of the binned engine.
+// Partial states combine exactly in any tree shape; FoldSlice runs the
+// batch kernel and is bit-identical to the generic leaf/merge fold.
+type BNMonoid struct{}
+
+// Leaf lifts one operand into a partial state.
+func (BNMonoid) Leaf(x float64) binned.State {
+	var st binned.State
+	st.Add(x)
+	return st
+}
+
+// Merge combines two partial states, exactly.
+func (BNMonoid) Merge(a, b binned.State) binned.State {
+	a.Merge(&b)
+	return a
+}
+
+// Finalize rounds a partial state to float64.
+func (BNMonoid) Finalize(st binned.State) float64 { return st.Finalize() }
+
+// FoldSlice implements reduce.SliceFolder with the batch deposit
+// kernel.
+func (BNMonoid) FoldSlice(xs []float64) binned.State {
+	var st binned.State
+	st.AddSlice(xs)
+	return st
+}
+
+var _ reduce.SliceFolder[binned.State] = BNMonoid{}

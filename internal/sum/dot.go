@@ -71,6 +71,21 @@ func DotPreroundedWith(cfg PRConfig, a, b []float64) float64 {
 	return acc.Sum()
 }
 
+// DotBinned computes a bitwise-reproducible dot product on the binned
+// rung (BN): exact product splits deposited into the binned
+// accumulator. Each element contributes two deposits (product head and
+// tail); capacity is unbounded thanks to the scheduled renormalization.
+func DotBinned(a, b []float64) float64 {
+	checkDotLen(a, b)
+	var acc BinnedAcc
+	for i, x := range a {
+		p, e := fpu.TwoProd(x, b[i])
+		acc.Add(p)
+		acc.Add(e)
+	}
+	return acc.Sum()
+}
+
 // DotExact returns the exact, correctly rounded dot product via the
 // superaccumulator (the validation oracle).
 func DotExact(a, b []float64) float64 {
@@ -95,6 +110,8 @@ func Dot(alg Algorithm, a, b []float64) float64 {
 		return DotComposite(a, b)
 	case PreroundedAlg:
 		return DotPrerounded(a, b)
+	case BinnedAlg:
+		return DotBinned(a, b)
 	}
 	panic("sum: invalid algorithm " + alg.String())
 }

@@ -20,6 +20,7 @@ package sum
 import (
 	"fmt"
 
+	"repro/internal/binned"
 	"repro/internal/reduce"
 )
 
@@ -38,16 +39,45 @@ const (
 	// CompositeAlg is composite-precision summation (CP): the error term
 	// is carried separately and folded in only at the end.
 	CompositeAlg
-	// PreroundedAlg is binned (indexed) reproducible summation (PR),
+	// PreroundedAlg is windowed prerounded reproducible summation (PR),
 	// bitwise reproducible under any reduction order.
 	PreroundedAlg
+	// BinnedAlg is single-pass binned (indexed) reproducible summation
+	// (BN): full-exponent-range fixed bins, bitwise reproducible under
+	// any reduction order at a small constant factor over ST. Appended
+	// after PreroundedAlg so persisted numeric values stay stable; its
+	// place in the cost ladder comes from CostRank and the Algorithms
+	// ordering, not the enum value.
+	BinnedAlg
 
 	numAlgorithms
 )
 
 // Algorithms lists every registered algorithm in cost order.
 var Algorithms = []Algorithm{
-	StandardAlg, PairwiseAlg, KahanAlg, NeumaierAlg, CompositeAlg, PreroundedAlg,
+	StandardAlg, PairwiseAlg, KahanAlg, NeumaierAlg, BinnedAlg, CompositeAlg, PreroundedAlg,
+}
+
+// SelectionLadder lists, in cost order, the algorithms the runtime
+// selector escalates through: the paper's ST < K < CP < PR ladder with
+// the binned rung (BN) slotted between the compensated and the
+// expensive reproducible algorithms. Policies walk this ladder instead
+// of hardcoding any particular reproducible algorithm.
+var SelectionLadder = []Algorithm{
+	StandardAlg, KahanAlg, BinnedAlg, CompositeAlg, PreroundedAlg,
+}
+
+// CheapestReproducible returns the lowest-cost algorithm whose results
+// are bitwise reproducible under arbitrary reduction orders — the
+// ladder-driven replacement for hardcoded PreroundedAlg fallbacks.
+func CheapestReproducible() Algorithm {
+	best := PreroundedAlg
+	for _, a := range Algorithms {
+		if a.Reproducible() && a.CostRank() < best.CostRank() {
+			best = a
+		}
+	}
+	return best
 }
 
 // PaperAlgorithms lists the four algorithms the paper evaluates, in the
@@ -69,6 +99,8 @@ func (a Algorithm) String() string {
 		return "CP"
 	case PreroundedAlg:
 		return "PR"
+	case BinnedAlg:
+		return "BN"
 	}
 	return fmt.Sprintf("Algorithm(%d)", uint8(a))
 }
@@ -87,7 +119,9 @@ func (a Algorithm) FullName() string {
 	case CompositeAlg:
 		return "composite precision summation"
 	case PreroundedAlg:
-		return "prerounded (binned) summation"
+		return "prerounded (windowed binned) summation"
+	case BinnedAlg:
+		return "binned (indexed) reproducible summation"
 	}
 	return a.String()
 }
@@ -104,10 +138,12 @@ func (a Algorithm) CostRank() int {
 		return 2
 	case NeumaierAlg:
 		return 3
-	case CompositeAlg:
+	case BinnedAlg:
 		return 4
-	case PreroundedAlg:
+	case CompositeAlg:
 		return 5
+	case PreroundedAlg:
+		return 6
 	}
 	return int(a) + 100
 }
@@ -154,6 +190,8 @@ func (a Algorithm) Sum(xs []float64) float64 {
 		return Composite(xs)
 	case PreroundedAlg:
 		return Prerounded(xs)
+	case BinnedAlg:
+		return Binned(xs)
 	}
 	panic("sum: invalid algorithm " + a.String())
 }
@@ -171,6 +209,8 @@ func (a Algorithm) NewAccumulator() Accumulator {
 		return &CompositeAcc{}
 	case PreroundedAlg:
 		return NewPreroundedAcc(DefaultPRConfig())
+	case BinnedAlg:
+		return &BinnedAcc{}
 	}
 	panic("sum: invalid algorithm " + a.String())
 }
@@ -189,13 +229,19 @@ func (a Algorithm) Op() reduce.Op {
 		return reduce.Boxed(a.String(), CPMonoid{})
 	case PreroundedAlg:
 		return reduce.Boxed(a.String(), DefaultPRConfig().Monoid())
+	case BinnedAlg:
+		return reduce.Boxed(a.String(), BNMonoid{})
 	}
 	panic("sum: invalid algorithm " + a.String())
 }
 
 // Reproducible reports whether a guarantees bitwise-identical results
-// under arbitrary reduction trees.
-func (a Algorithm) Reproducible() bool { return a == PreroundedAlg }
+// under arbitrary reduction trees. Call sites must not assume a single
+// reproducible algorithm: use CheapestReproducible or walk
+// SelectionLadder instead of hardcoding one.
+func (a Algorithm) Reproducible() bool {
+	return a == PreroundedAlg || a == BinnedAlg
+}
 
 // LocalState folds xs into a boxed partial-reduction state using the
 // algorithm's native, unboxed merge loop — the efficient "local sum"
@@ -227,6 +273,10 @@ func (a Algorithm) LocalState(xs []float64) reduce.State {
 		acc := NewPreroundedAcc(DefaultPRConfig())
 		AddSlice(acc, xs)
 		return acc.State()
+	case BinnedAlg:
+		var st binned.State
+		st.AddSlice(xs)
+		return st
 	}
 	panic("sum: invalid algorithm " + a.String())
 }

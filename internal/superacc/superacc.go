@@ -56,6 +56,58 @@ func (a *Acc) Add(x float64) {
 	}
 }
 
+// AddLdexp deposits x·2^e2 exactly, even when the scaled value exceeds
+// the float64 range (it lands in the accumulator's 64 headroom bits).
+// This is how the binned engine's 2^-512-scaled top bins are folded in
+// at their true weight. NaN or ±Inf x poisons the accumulator; a scaled
+// value that would fall outside the represented bit span panics (only
+// reachable beyond ~2^50 maximum-magnitude operands).
+func (a *Acc) AddLdexp(x float64, e2 int) {
+	if x == 0 {
+		return
+	}
+	bits := math.Float64bits(x)
+	neg := bits>>63 == 1
+	expField := int(bits >> 52 & 0x7ff)
+	mant := bits & (1<<52 - 1)
+	var pos int
+	switch expField {
+	case 0x7ff:
+		a.nan = true
+		return
+	case 0:
+		pos = e2
+	default:
+		mant |= 1 << 52
+		pos = expField - 1023 - 52 - bias + e2
+	}
+	if pos < 0 || pos/limbBits+2 >= numLimbs {
+		panic("superacc: AddLdexp position out of range")
+	}
+	limb := pos / limbBits
+	shift := uint(pos % limbBits)
+	lo := int64((mant << shift) & 0xffffffff)
+	mid := int64((mant >> (32 - shift)) & 0xffffffff)
+	hi := int64(mant >> (64 - shift) & 0xffffffff)
+	if shift == 0 {
+		mid = int64(mant >> 32)
+		hi = 0
+	}
+	if neg {
+		a.limbs[limb] -= lo
+		a.limbs[limb+1] -= mid
+		a.limbs[limb+2] -= hi
+	} else {
+		a.limbs[limb] += lo
+		a.limbs[limb+1] += mid
+		a.limbs[limb+2] += hi
+	}
+	a.pending++
+	if a.pending >= normalizeEvery {
+		a.normalize()
+	}
+}
+
 // deposit performs the limb work of Add without the carry bookkeeping;
 // it reports whether x actually landed in the limbs (zeros contribute
 // nothing; non-finite values only set the poison flag).

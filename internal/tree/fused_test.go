@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/binned"
 	"repro/internal/fpu"
 	"repro/internal/sum"
 )
@@ -16,6 +17,7 @@ func singleRunners() []func(Plan, []float64) float64 {
 		NewExecutor[float64](sum.STMonoid{}).Run,                     // PW (same monoid)
 		NewExecutor[sum.KState](sum.KahanMonoid{}).Run,               // K
 		NewExecutor[sum.NState](sum.NeumaierMonoid{}).Run,            // N
+		NewExecutor[binned.State](sum.BNMonoid{}).Run,                // BN
 		NewExecutor(sum.CPMonoid{}).Run,                              // CP
 		NewExecutor[sum.PRState](sum.DefaultPRConfig().Monoid()).Run, // PR
 	}
@@ -27,6 +29,7 @@ func allLanes() []Lane {
 		NewLane[float64](sum.STMonoid{}),
 		NewLane[sum.KState](sum.KahanMonoid{}),
 		NewLane[sum.NState](sum.NeumaierMonoid{}),
+		NewLane[binned.State](sum.BNMonoid{}),
 		NewLane(sum.CPMonoid{}),
 		NewLane[sum.PRState](sum.DefaultPRConfig().Monoid()),
 	}

@@ -6,8 +6,10 @@
 // It provides:
 //
 //   - the paper's four summation algorithms — standard (ST), Kahan (K),
-//     composite precision (CP), and prerounded/binned (PR) — in one-shot,
-//     streaming, and tree-mergeable forms (Sum, NewAccumulator, Op);
+//     composite precision (CP), and prerounded (PR) — plus the
+//     single-pass binned reproducible engine (BN, the ladder's fast
+//     bitwise-reproducible middle rung) in one-shot, streaming, and
+//     tree-mergeable forms (Sum, NewAccumulator, Op);
 //   - reduction-tree simulation (balanced/unbalanced/random/blocked
 //     shapes with permuted operand assignment) and a simulated
 //     message-passing runtime with nondeterministic collectives;
@@ -40,11 +42,15 @@ type Algorithm = sum.Algorithm
 
 // The registered algorithms, in increasing cost order.
 const (
-	Standard   = sum.StandardAlg
-	Pairwise   = sum.PairwiseAlg
-	Kahan      = sum.KahanAlg
-	Neumaier   = sum.NeumaierAlg
-	Composite  = sum.CompositeAlg
+	Standard  = sum.StandardAlg
+	Pairwise  = sum.PairwiseAlg
+	Kahan     = sum.KahanAlg
+	Neumaier  = sum.NeumaierAlg
+	Binned    = sum.BinnedAlg
+	Composite = sum.CompositeAlg
+	// Prerounded is the windowed prerounded operator; Binned is the
+	// cheaper single-pass reproducible rung the selector now prefers at
+	// tight tolerances.
 	Prerounded = sum.PreroundedAlg
 )
 

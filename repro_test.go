@@ -27,8 +27,8 @@ func TestPublicRuntime(t *testing.T) {
 	if total != 4 {
 		t.Errorf("runtime sum = %g", total)
 	}
-	if rep.Algorithm != repro.Prerounded {
-		t.Errorf("t=0 chose %v", rep.Algorithm)
+	if rep.Algorithm != repro.Binned {
+		t.Errorf("t=0 chose %v, want the binned reproducible rung", rep.Algorithm)
 	}
 }
 
