@@ -13,7 +13,11 @@ test:
 # goroutine pools that must stay race-clean), and an explicit pass over
 # the fused-engine and kernel-layer guarantees — bitwise fused/legacy and
 # kernel/generic equivalence, lane-plan worker invariance, and the
-# zero-allocation trial and fold loops.
+# zero-allocation trial and fold loops. The bounds-validation pass
+# checks every reported error bound differentially against the bigref
+# ground truth (deterministic bounds never violated, probabilistic at
+# most at the stated rate) plus the selection-path audits: degenerate
+# profiles, cache bucket boundaries, and empty-shard merge identity.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -21,6 +25,8 @@ verify:
 	$(GO) test -run 'Equivalence|Allocs|Lane|NonFinite|BatchDeposit' ./internal/kernel ./internal/parallel ./internal/selector
 	$(GO) test -run 'Fused|SpecSum|Cache|SelectAndSum|ProfileOp|Associativity|ArbitrarySplits|Clamp|Nearest|CSum' ./internal/selector ./internal/core
 	$(GO) test -run 'Binned|Merged|Invariance|Permutation|Specials|Ladder|Allocs' ./internal/binned ./internal/sum ./internal/kernel
+	$(GO) test -run 'BoundsDifferential|Probabilistic|Degenerate|Boundary|MergeEmpty|ChainHeight|Gamma' ./internal/selector ./internal/sum ./internal/kernel
+	$(GO) test -run 'BoundsExt' ./internal/experiments
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -30,7 +36,9 @@ bench:
 # select-then-sum vs fused single pass vs fused + decision cache, plus
 # the isolated Decide step with cache hit rates), and the binned
 # reproducible engine's headline ratios (vs superacc, two-pass PR, and
-# the ST kernel floor) as machine-readable artifacts (compared across
+# the ST kernel floor), plus the bound-estimator costs (BENCH_bounds:
+# ComputeBounds per plan and per-policy decide cost with each pick's
+# cost rank) as machine-readable artifacts (compared across
 # PRs, e.g. `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`,
 # or gated: `go run ./cmd/benchjson -compare -threshold 10 old new`).
 bench-json:
@@ -38,7 +46,8 @@ bench-json:
 	$(GO) test ./internal/kernel -run '^$$' -bench Fold -benchmem | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	$(GO) test ./internal/selector -run '^$$' -bench 'SelectSum|Decide' -benchmem | $(GO) run ./cmd/benchjson > BENCH_selector.json
 	$(GO) test ./internal/kernel -run '^$$' -bench Binned -benchmem | $(GO) run ./cmd/benchjson > BENCH_binned.json
-	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json
+	$(GO) test ./internal/selector -run '^$$' -bench Bounds -benchmem | $(GO) run ./cmd/benchjson > BENCH_bounds.json
+	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json BENCH_bounds.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

@@ -55,6 +55,7 @@ func main() {
 		{"ext-nbody", func(c experiments.Config) experiments.Result { return experiments.NBodyExt(c) }},
 		{"ext-shapes", func(c experiments.Config) experiments.Result { return experiments.ShapesExt(c) }},
 		{"ext-precision", func(c experiments.Config) experiments.Result { return experiments.PrecisionExt(c) }},
+		{"ext-bounds", func(c experiments.Config) experiments.Result { return experiments.BoundsExt(c) }},
 		{"ext-parallel", func(c experiments.Config) experiments.Result { return experiments.ParallelExt(c) }},
 	}
 

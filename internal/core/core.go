@@ -132,6 +132,12 @@ type Report struct {
 	Algorithm sum.Algorithm
 	Profile   selector.Profile
 	Predicted float64
+	// Bounds are the Hallman–Ipsen per-algorithm forward-error bound
+	// estimates computed from the profile the decision was made from
+	// (the cache bucket's conservative representative on cached paths)
+	// — pure arithmetic on already-collected statistics, no extra data
+	// pass. Bounds.Conclusive is false on the non-finite fallback.
+	Bounds selector.Bounds
 	// PRConfig is set when the prerounded operator was chosen: the
 	// tolerance-tuned bin configuration (selector.TunePR).
 	PRConfig *sum.PRConfig
@@ -186,6 +192,7 @@ func reportOf(sel selector.Selection) Report {
 		Algorithm: sel.Alg,
 		Profile:   sel.Profile,
 		Predicted: sel.Predicted,
+		Bounds:    sel.Bounds,
 		PRConfig:  sel.PR,
 		NonFinite: sel.NonFinite,
 	}
@@ -217,7 +224,7 @@ func (rt *Runtime) sumParallel(xs []float64) (float64, Report) {
 		return rt.nonFiniteSum(xs, prof)
 	}
 	d := rt.sel.Decide(prof)
-	rep := Report{Algorithm: d.Alg, Profile: prof, Predicted: d.Predicted}
+	rep := Report{Algorithm: d.Alg, Profile: prof, Predicted: d.Predicted, Bounds: d.Bounds}
 	if d.Alg == sum.PreroundedAlg {
 		cfg := d.PR
 		rep.PRConfig = &cfg
@@ -234,6 +241,7 @@ func (rt *Runtime) nonFiniteSum(xs []float64, prof selector.Profile) (float64, R
 		Algorithm: sum.StandardAlg,
 		Profile:   prof,
 		Predicted: math.Inf(1),
+		Bounds:    selector.ComputeBounds(prof, 0),
 		NonFinite: true,
 	}
 	return sum.Standard(xs), rep
@@ -248,11 +256,13 @@ func (rt *Runtime) Reduce(p tree.Plan, xs []float64) (float64, Report) {
 	if prof.NonFinite {
 		v := selector.ReduceTreeWith(sum.StandardAlg, p, xs)
 		return v, Report{Algorithm: sum.StandardAlg, Profile: prof,
-			Predicted: math.Inf(1), NonFinite: true}
+			Predicted: math.Inf(1), Bounds: selector.ComputeBounds(prof, 0),
+			NonFinite: true}
 	}
 	d := rt.sel.Decide(prof)
 	v := selector.ReduceTreeWith(d.Alg, p, xs)
-	return v, Report{Algorithm: d.Alg, Profile: prof, Predicted: d.Predicted}
+	return v, Report{Algorithm: d.Alg, Profile: prof, Predicted: d.Predicted,
+		Bounds: d.Bounds}
 }
 
 // BlockReport records the per-block decision of a hierarchical sum.

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBoundsExtClaims pins the experiment's headline claims at Quick
+// scale: the probabilistic policy is never costlier than the
+// calibrated table at equal tolerance, neither accumulates measured
+// tolerance violations beyond the calibrated policy's own rate, the
+// bound-driven decision is cheaper than a table lookup, and the
+// float32-regime bounds cover the measured sum32 errors.
+func TestBoundsExtClaims(t *testing.T) {
+	res := BoundsExt(quick)
+	if !res.ProbNeverCostlier {
+		t.Errorf("probabilistic picks costlier than calibrated in %d comparisons", res.ProbCostlierPicks)
+	}
+	if res.ProbCheaperPicks == 0 {
+		t.Error("probabilistic policy never cheaper than calibrated — bounds are not informative")
+	}
+	for ti := range res.Thresholds {
+		if p, c := res.Violations["prob"][ti], res.Violations["calib"][ti]; p > c {
+			t.Errorf("threshold %g: prob violations %d exceed calibrated's %d",
+				res.Thresholds[ti], p, c)
+		}
+	}
+	if res.DecideNs["prob"] >= res.DecideNs["calib"] {
+		t.Errorf("bound evaluation (%.0f ns) not cheaper than table lookup (%.0f ns)",
+			res.DecideNs["prob"], res.DecideNs["calib"])
+	}
+	if !res.Sum32.Holds {
+		t.Errorf("float32-regime bounds violated: worst %v vs bounds %v", res.Sum32.WorstRel, res.Sum32.BoundRel)
+	}
+	for _, name := range []string{"naive", "kahan32", "wide"} {
+		if res.Sum32.BoundRel[name] <= 0 {
+			t.Errorf("sum32 %s bound not positive: %g", name, res.Sum32.BoundRel[name])
+		}
+	}
+	if res.ID() != "ext-bounds" {
+		t.Errorf("ID = %q", res.ID())
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, key := range []string{`"prob"`, `"calib"`, `"heur"`, `"kahan32"`} {
+		if !strings.Contains(string(blob), key) {
+			t.Errorf("JSON missing %s: %.200s", key, blob)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "never costlier") || !strings.Contains(s, "float32 regime") {
+		t.Errorf("rendering missing sections:\n%s", s)
+	}
+}

@@ -135,6 +135,16 @@ func FusedProfileSum(xs []float64) FusedAcc {
 // what parallel.Sum computes for ST and Neumaier and what
 // selector.ProfileOfParallel computes for the profile.
 func (a FusedAcc) Merge(b FusedAcc) FusedAcc {
+	// Zero-observation sides merge as an exact identity (mirroring
+	// selector.Profile.Merge): the general path's ST += and nmerge
+	// against zero are value-preserving but can flip a -0 shadow sum
+	// to +0, breaking bitwise agreement with the serial fold.
+	if b.N == 0 && !b.NonFinite {
+		return a
+	}
+	if a.N == 0 && !a.NonFinite {
+		return b
+	}
 	out := FusedAcc{
 		N:         a.N + b.N,
 		ST:        a.ST + b.ST,

@@ -1,0 +1,102 @@
+package kernel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// Empty-merge identity audit for the fused accumulator (issue 6,
+// satellite 3), mirroring selector.Profile.Merge: combining with a
+// zero-observation accumulator is an exact identity, bit-preserving
+// for every float component. Without the short-circuit the ST shadow
+// (a+b) and the Neumaier pair merges can flip a -0 component to +0.
+
+// fusedBitsEqual compares accumulators with float fields compared by
+// bit pattern.
+func fusedBitsEqual(a, b kernel.FusedAcc) bool {
+	return a.N == b.N &&
+		math.Float64bits(a.ST) == math.Float64bits(b.ST) &&
+		math.Float64bits(a.SumS) == math.Float64bits(b.SumS) &&
+		math.Float64bits(a.SumC) == math.Float64bits(b.SumC) &&
+		math.Float64bits(a.AbsS) == math.Float64bits(b.AbsS) &&
+		math.Float64bits(a.AbsC) == math.Float64bits(b.AbsC) &&
+		a.MaxExp == b.MaxExp && a.MinExp == b.MinExp &&
+		a.HasNonzero == b.HasNonzero &&
+		a.Pos == b.Pos && a.Neg == b.Neg &&
+		a.NonFinite == b.NonFinite
+}
+
+// TestFusedMergeEmptyIdentity: merge with an empty accumulator is a
+// bit-exact identity in both directions, including for states holding
+// -0 components that only the exported surface (not the fold) can
+// construct.
+func TestFusedMergeEmptyIdentity(t *testing.T) {
+	empty := kernel.FusedProfileSum(nil)
+	corpus := map[string]kernel.FusedAcc{
+		"empty":      empty,
+		"plain":      kernel.FusedProfileSum([]float64{1, 2.5, -3e7, 1e-12}),
+		"cancel":     kernel.FusedProfileSum([]float64{1e16, 1, -1e16}),
+		"zeros":      kernel.FusedProfileSum([]float64{0, 0}),
+		"poisoned":   kernel.FusedProfileSum([]float64{math.NaN(), 1}),
+		"neg-0-st":   {N: 3, ST: math.Copysign(0, -1), SumS: 1, AbsS: 3, HasNonzero: true, Pos: 1, Neg: 2},
+		"neg-0-sumc": {N: 2, ST: 1, SumS: 1, SumC: math.Copysign(0, -1), AbsS: 1, HasNonzero: true, Pos: 2},
+	}
+	for name, a := range corpus {
+		if got := a.Merge(empty); !fusedBitsEqual(got, a) {
+			t.Errorf("%s: a.Merge(empty) = %+v, want %+v", name, got, a)
+		}
+		if got := empty.Merge(a); !fusedBitsEqual(got, a) {
+			t.Errorf("%s: empty.Merge(a) = %+v, want %+v", name, got, a)
+		}
+	}
+}
+
+// TestFusedMergeEmptyShardsInvariant: interleaving empty shards into a
+// chunked fused reduction leaves every output bit unchanged, so fused
+// speculative results are independent of how many empty chunks the
+// partition produced.
+func TestFusedMergeEmptyShardsInvariant(t *testing.T) {
+	xs := make([]float64, 3000)
+	for i := range xs {
+		// Deterministic mix of magnitudes and signs (incl. exact
+		// cancellation pairs) without an RNG dependency.
+		xs[i] = math.Ldexp(float64(i%13-6), i%40-20)
+	}
+	const chunk = 256
+	want := kernel.FusedProfileSum(nil)
+	for lo := 0; lo < len(xs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		want = want.Merge(kernel.FusedProfileSum(xs[lo:hi]))
+	}
+	got := kernel.FusedProfileSum(nil)
+	for lo := 0; lo < len(xs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		got = got.Merge(kernel.FusedProfileSum(nil)) // empty shard
+		got = got.Merge(kernel.FusedProfileSum(xs[lo:hi]))
+		got = got.Merge(kernel.FusedProfileSum(xs[lo:lo]))
+	}
+	if !fusedBitsEqual(got, want) {
+		t.Fatalf("empty shards perturbed the fused merge:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFusedMergeEmptyPoisonPropagates: a poisoned zero-observation
+// state must not short-circuit away its poison flag.
+func TestFusedMergeEmptyPoisonPropagates(t *testing.T) {
+	a := kernel.FusedProfileSum([]float64{1, 2})
+	poison := kernel.FusedAcc{NonFinite: true}
+	if got := a.Merge(poison); !got.NonFinite || got.N != a.N {
+		t.Errorf("a.Merge(poison) = %+v, want poisoned with N=%d", got, a.N)
+	}
+	if got := poison.Merge(a); !got.NonFinite || got.N != a.N {
+		t.Errorf("poison.Merge(a) = %+v, want poisoned with N=%d", got, a.N)
+	}
+}

@@ -1,0 +1,73 @@
+package selector
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sum"
+)
+
+// benchBoundsProfiles spans the regimes the estimators branch on:
+// benign, cancelling, and wide dynamic range.
+func benchBoundsProfiles() map[string]Profile {
+	out := map[string]Profile{}
+	for name, spec := range map[string]gen.Spec{
+		"benign": {N: 1 << 16, Cond: 1, DynRange: 8, Seed: 91},
+		"cancel": {N: 1 << 16, Cond: 1e8, DynRange: 16, Seed: 92},
+		"wide":   {N: 1 << 16, Cond: 1e3, DynRange: 40, Seed: 93},
+	} {
+		out[name] = ProfileOf(spec.Generate())
+	}
+	return out
+}
+
+// BenchmarkBounds measures the cost of evaluating the full bound
+// estimator set from an existing profile — the price the fused path
+// pays to surface bounds without a second data pass.
+func BenchmarkBounds(b *testing.B) {
+	for name, p := range benchBoundsProfiles() {
+		for _, plan := range []BoundPlan{SerialPlan, BalancedPlan} {
+			b.Run(fmt.Sprintf("%s/%v", name, plan), func(b *testing.B) {
+				var sink Bounds
+				for i := 0; i < b.N; i++ {
+					sink = ComputeBoundsPlan(p, 0, plan)
+				}
+				_ = sink
+			})
+		}
+	}
+}
+
+// BenchmarkBoundsPolicyDecide compares the per-call decision cost of
+// the three selection policies at a fig12-style tolerance, reporting
+// each policy's pick cost rank so the bench artifact records the
+// cost-of-decision vs cost-of-pick trade (cheaper decisions are no
+// good if they force costlier algorithms).
+func BenchmarkBoundsPolicyDecide(b *testing.B) {
+	profiles := benchBoundsProfiles()
+	calib := Calibrate(CalibrationConfig{
+		Ns: []int{1 << 12}, Ks: []float64{1, 1e4, 1e8}, DRs: []int{0, 16, 32},
+		Trials: 10, Seed: 94,
+	})
+	policies := []struct {
+		name string
+		pol  Policy
+	}{
+		{"prob", ProbabilisticPolicy{Plan: BalancedPlan}},
+		{"calib", calib},
+		{"heur", NewHeuristicPolicy()},
+	}
+	req := Requirement{Tolerance: 2.5e-13}
+	for name, p := range profiles {
+		for _, pc := range policies {
+			b.Run(fmt.Sprintf("%s/%s", pc.name, name), func(b *testing.B) {
+				var alg sum.Algorithm
+				for i := 0; i < b.N; i++ {
+					alg, _ = pc.pol.Select(p, req)
+				}
+				b.ReportMetric(float64(alg.CostRank()), "pick-rank")
+			})
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package selector
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/bigref"
+	"repro/internal/fpu"
+	"repro/internal/gen"
+	"repro/internal/grid"
+	"repro/internal/sum"
+	"repro/internal/sum32"
+	"repro/internal/tree"
+)
+
+// Differential validation of every reported bound against bigref
+// ground truth (issue 6, satellite 4): a fig12-style parameter grid
+// plus adversarial generators (cancellation-heavy, denormal-heavy,
+// alternating-sign), each summed by every registered algorithm, with
+// deterministic bounds required to hold always and probabilistic
+// bounds at most at the stated λ failure rate. Everything is seeded,
+// so the test is deterministic — a pass pins the estimators, not a
+// lucky draw.
+
+// boundChecker accumulates deterministic failures (hard errors) and
+// probabilistic violations (rate-checked at the end).
+type boundChecker struct {
+	t          *testing.T
+	probTotal  int // bound applications (union-bound weight)
+	probViol   int
+	worstRatio float64
+}
+
+func (c *boundChecker) check(ctx string, err float64, b Bound, weight int) {
+	c.t.Helper()
+	if math.IsNaN(b.Det) || math.IsNaN(b.Prob) || b.Det < 0 || b.Prob < 0 {
+		c.t.Errorf("%s: malformed bound %+v", ctx, b)
+		return
+	}
+	if b.Prob > b.Det {
+		c.t.Errorf("%s: probabilistic bound %g above deterministic %g", ctx, b.Prob, b.Det)
+	}
+	if err > b.Det {
+		c.t.Errorf("%s: deterministic bound VIOLATED: err %g > det %g", ctx, err, b.Det)
+	}
+	c.probTotal += weight
+	if err > b.Prob {
+		c.probViol++
+		c.t.Logf("%s: probabilistic miss: err %g > prob %g (allowed at rate)", ctx, err, b.Prob)
+	}
+	if b.Prob > 0 && err/b.Prob > c.worstRatio {
+		c.worstRatio = err / b.Prob
+	}
+}
+
+func (c *boundChecker) finish(lambda float64) {
+	c.t.Helper()
+	allowed := int(math.Ceil(FailureProb(lambda) * float64(c.probTotal)))
+	if c.probViol > allowed {
+		c.t.Errorf("probabilistic bounds violated %d times over %d applications; stated rate allows %d",
+			c.probViol, c.probTotal, allowed)
+	}
+	c.t.Logf("prob checks: %d violations / %d applications (allowed %d), worst err/prob ratio %.3g",
+		c.probViol, c.probTotal, allowed, c.worstRatio)
+}
+
+// validationSets returns the named float64 operand sets: the fig12-ish
+// grid plus the adversarial families.
+func validationSets() map[string][]float64 {
+	sets := make(map[string][]float64)
+	for _, n := range []int{256, 1024, 4096} {
+		for _, k := range []float64{1, 1e4, 1e8} {
+			for _, dr := range []int{0, 16, 32} {
+				spec := gen.Spec{N: n, Cond: k, DynRange: dr, Seed: uint64(n)*1000 + uint64(dr)}
+				sets[fmt.Sprintf("grid/n=%d,k=%g,dr=%d", n, k, dr)] = spec.Generate()
+			}
+		}
+	}
+	// Cancellation-heavy: near-total and exact cancellation.
+	sets["adv/cancel-1e14"] = gen.Spec{N: 2048, Cond: 1e14, DynRange: 8, Seed: 11}.Generate()
+	sets["adv/cancel-exact"] = gen.Spec{N: 2048, Cond: math.Inf(1), DynRange: 20, Seed: 12}.Generate()
+	// Denormal-heavy: random mantissas pinned deep in the subnormal
+	// range (gen.Spec caps BaseExp at -1000, so build directly).
+	rng := fpu.NewRNG(13)
+	den := make([]float64, 2048)
+	for i := range den {
+		den[i] = math.Ldexp(1+rng.Float64(), -1070+rng.Intn(12))
+		if rng.Intn(2) == 0 {
+			den[i] = -den[i]
+		}
+	}
+	sets["adv/denormal"] = den
+	// Alternating-sign: inexactly cancelling neighbors of similar
+	// magnitude — the roundoff-dominated regime.
+	alt := make([]float64, 2048)
+	for i := range alt {
+		alt[i] = 1 + rng.Float64()
+		if i%2 == 1 {
+			alt[i] = -alt[i]
+		}
+	}
+	sets["adv/alternating"] = alt
+	return sets
+}
+
+// TestBoundsDifferentialSerial: every algorithm's serial one-shot sum
+// stays within its serial-plan bounds on every validation set.
+func TestBoundsDifferentialSerial(t *testing.T) {
+	c := &boundChecker{t: t}
+	for name, xs := range validationSets() {
+		p := ProfileOf(xs)
+		b := ComputeBounds(p, 0)
+		if !b.Conclusive {
+			t.Errorf("%s: bounds inconclusive on finite data", name)
+			continue
+		}
+		ref := bigref.Sum(xs)
+		for _, alg := range sum.Algorithms {
+			err := bigref.Err(alg.Sum(xs), ref)
+			c.check(name+"/"+alg.String(), err, b.For(alg), 1)
+		}
+	}
+	c.finish(DefaultLambda)
+}
+
+// TestBoundsDifferentialTrees: balanced-tree execution (the grid
+// methodology: many random balanced trees per cell) stays within the
+// balanced-plan bounds — the plan ProbabilisticPolicy uses for
+// tree-imposed collectives. The per-cell maximum observed error over
+// all trials is checked, with the probabilistic rate union-bounded by
+// the trial count.
+func TestBoundsDifferentialTrees(t *testing.T) {
+	const trials = 40
+	c := &boundChecker{t: t}
+	cfg := grid.Config{
+		Algorithms: sum.Algorithms,
+		Trials:     trials,
+		Shape:      tree.Balanced,
+		Seed:       61,
+	}
+	i := 0
+	for _, k := range []float64{1, 1e4, 1e8} {
+		for _, dr := range []int{0, 16, 32} {
+			cell := grid.CellSpec{N: 4096, Cond: k, DynRange: dr}
+			seed := fpu.MixSeed(cfg.Seed, uint64(i))
+			res := grid.EvalCell(cell, cfg, seed)
+			xs := gen.Spec{N: cell.N, Cond: cell.Cond, DynRange: cell.DynRange, Seed: seed}.Generate()
+			b := ComputeBoundsPlan(ProfileOf(xs), 0, BalancedPlan)
+			for _, alg := range sum.Algorithms {
+				ctx := fmt.Sprintf("tree/%v/%v", cell, alg)
+				c.check(ctx, res.MaxErr[alg], b.For(alg), trials)
+			}
+			i++
+		}
+	}
+	c.finish(DefaultLambda)
+}
+
+// TestBoundsDifferentialSum32: the precision-aware regime — float32
+// data, bounds evaluated at u = 2^-24 over the exactly-embedded
+// float64 profile, validated against sum32's float32 accumulators.
+func TestBoundsDifferentialSum32(t *testing.T) {
+	c := &boundChecker{t: t}
+	for _, k := range []float64{1, 1e3} {
+		for _, dr := range []int{0, 12} {
+			spec := gen.Spec{N: 4096, Cond: k, DynRange: dr, Seed: 71 + uint64(dr)}
+			xs32 := make([]float32, 0, spec.N)
+			xs64 := make([]float64, 0, spec.N)
+			for _, x := range spec.Generate() {
+				v := float32(x)
+				xs32 = append(xs32, v)
+				xs64 = append(xs64, float64(v)) // exact embedding
+			}
+			name := fmt.Sprintf("sum32/k=%g,dr=%d", k, dr)
+			p := ProfileOf(xs64)
+			ref := bigref.Sum(xs64)
+			b32 := ComputeBoundsU(p, 0, 0x1p-24, SerialPlan)
+			if !b32.Conclusive {
+				t.Fatalf("%s: float32-regime bounds inconclusive", name)
+			}
+			// Naive float32 accumulation is the u32 serial chain.
+			c.check(name+"/naive",
+				bigref.Err(float64(sum32.Naive(xs32)), ref),
+				b32.For(sum.StandardAlg), 1)
+			// Kahan entirely in float32 is the u32 compensated bound.
+			c.check(name+"/kahan32",
+				bigref.Err(float64(sum32.Kahan32(xs32)), ref),
+				b32.For(sum.KahanAlg), 1)
+			// Wide (float64 accumulator, one final float32 rounding):
+			// the float64 serial bound plus the final rounding's
+			// u32·|s| — the "critical-section higher precision" claim
+			// in bound form.
+			b64 := ComputeBounds(p, 0)
+			wide := b64.For(sum.StandardAlg)
+			final := 0x1p-24 * math.Abs(p.Sum.Float64())
+			c.check(name+"/wide",
+				bigref.Err(float64(sum32.Wide(xs32)), ref),
+				Bound{Det: wide.Det + final, Prob: wide.Prob + final}, 1)
+		}
+	}
+	c.finish(DefaultLambda)
+}

@@ -100,18 +100,22 @@ type cacheKey struct {
 // and beyond, including NaN estimates from an overflowed Σ|x|).
 const kInfBucket int16 = 69
 
+// condBucket maps a condition number onto its quarter-decade bucket.
+// quantize and representative must share this exact rounding: the
+// conservative-representative guarantee is stated in terms of the
+// bucket this function computes.
+func condBucket(k float64) int16 {
+	if math.IsNaN(k) || k > 1e17 {
+		return kInfBucket
+	}
+	return int16(math.Ceil(clampLog10K(k) * 4))
+}
+
 // quantize maps a (profile, requirement) onto its bucket.
 func quantize(p Profile, req Requirement) cacheKey {
-	var kq int16
-	k := p.Cond()
-	if math.IsNaN(k) || k > 1e17 {
-		kq = kInfBucket
-	} else {
-		kq = int16(math.Ceil(clampLog10K(k) * 4))
-	}
 	return cacheKey{
 		tol: math.Float64bits(req.Tolerance),
-		kq:  kq,
+		kq:  condBucket(p.Cond()),
 		nq:  int16(bits.Len64(uint64(p.N))),
 		drq: int16((p.DynRange() + 3) / 4),
 	}
@@ -120,10 +124,17 @@ func quantize(p Profile, req Requirement) cacheKey {
 // representative synthesizes the bucket's canonical profile, pinned to
 // the conservative edge of every quantized axis:
 //
-//   - n: the bucket's upper edge 2^nq - 1 (predictions grow with n);
+//   - n: the bucket's upper edge 2^nq - 1 (predictions grow with n;
+//     the nq = 63 bucket pins MaxInt64, the largest count a profile
+//     can hold);
 //   - k: Sum = 1/k' against SumAbs = 1 with k' at the bucket's upper
-//     edge 10^(kq/4); the sentinel bucket uses Sum = 0, making Cond
-//     exactly +Inf;
+//     edge 10^(kq/4), then nudged ulp-by-ulp to the largest computed
+//     condition number the bucket admits — the double rounding in
+//     1/(1/k') and Log10's own rounding otherwise leave the
+//     representative's Cond tens of ulps below in-bucket profiles at
+//     quarter-decade edges, quietly breaking conservatism right on the
+//     boundary; the sentinel bucket uses Sum = 0, making Cond exactly
+//     +Inf;
 //   - dr: MaxExp = 0, MinExp = -4·drq (the widest range the bucket
 //     admits), which also pins TunePR's maxAbs/sumAbs ratio at its
 //     worst case 2 — real data in the bucket never has a larger ratio,
@@ -136,8 +147,11 @@ func quantize(p Profile, req Requirement) cacheKey {
 func representative(key cacheKey) (Profile, Requirement) {
 	req := Requirement{Tolerance: math.Float64frombits(key.tol)}
 	n := int64(1)
-	if key.nq > 0 {
-		n = int64(1)<<min(key.nq, 62) - 1
+	switch {
+	case key.nq >= 63:
+		n = math.MaxInt64 // bits.Len64 of a count never exceeds 63
+	case key.nq > 0:
+		n = int64(1)<<key.nq - 1
 	}
 	p := Profile{
 		N:          n,
@@ -148,7 +162,20 @@ func representative(key cacheKey) (Profile, Requirement) {
 		SumAbs:     CSum{S: 1},
 	}
 	if key.kq != kInfBucket {
-		p.Sum = CSum{S: 1 / math.Pow(10, float64(key.kq)/4)}
+		s := 1 / math.Pow(10, float64(key.kq)/4)
+		// Walk |Sum| down to the bucket's computed-Cond supremum: the
+		// largest 1/s that condBucket still maps into this bucket. The
+		// loop terminates because shrinking s grows 1/s monotonically
+		// toward +Inf (bucket kInfBucket); measured walks are under
+		// fifty ulps.
+		for {
+			next := math.Nextafter(s, 0)
+			if next == 0 || condBucket(1/next) > key.kq {
+				break
+			}
+			s = next
+		}
+		p.Sum = CSum{S: s}
 	}
 	return p, req
 }

@@ -104,12 +104,20 @@ func (fp FusedPass) SpecSum(alg sum.Algorithm) (float64, bool) {
 }
 
 // Decision is one memoizable selection outcome: the chosen algorithm,
-// its predicted variability, and — when the choice is PR — the tuned
-// prerounding configuration. It is a pure function of (policy, profile,
-// requirement), which is what makes the decision cache sound.
+// its predicted variability, the Hallman–Ipsen forward-error bound
+// estimates for the profile it was made from, and — when the choice is
+// PR — the tuned prerounding configuration. It is a pure function of
+// (policy, profile, requirement), which is what makes the decision
+// cache sound; cached decisions carry the bounds of the bucket's
+// conservative representative, so a hit and a miss report identical
+// (and never optimistic) bounds.
 type Decision struct {
 	Alg       sum.Algorithm
 	Predicted float64
+	// Bounds are the per-algorithm forward-error bound estimates
+	// computed from the same profile the decision was made from (the
+	// bucket representative on cached paths) — no extra data pass.
+	Bounds Bounds
 	// PR is the TunePR configuration; meaningful only when TunedPR.
 	PR      sum.PRConfig
 	TunedPR bool
@@ -119,7 +127,7 @@ type Decision struct {
 // directly, with no cache involved.
 func decide(pol Policy, p Profile, req Requirement) Decision {
 	alg, pred := pol.Select(p, req)
-	d := Decision{Alg: alg, Predicted: pred}
+	d := Decision{Alg: alg, Predicted: pred, Bounds: boundsFor(pol, p)}
 	if alg == sum.PreroundedAlg {
 		d.PR = TunePR(p, req)
 		d.TunedPR = true
@@ -144,6 +152,10 @@ type Selection struct {
 	Profile   Profile
 	Alg       sum.Algorithm
 	Predicted float64
+	// Bounds are the decision's forward-error bound estimates (the
+	// bucket representative's on cached paths; inconclusive on the
+	// poisoned fallback).
+	Bounds Bounds
 	// PR is the tuned prerounding configuration when Alg is PR.
 	PR *sum.PRConfig
 	// Fast reports that the returned sum came out of the speculative
@@ -167,10 +179,11 @@ func (s *Selector) SelectAndSum(xs []float64) (float64, Selection) {
 	if prof.NonFinite {
 		return fp.ST, Selection{
 			Profile: prof, Alg: sum.StandardAlg, Fast: true, NonFinite: true,
+			Bounds: boundsFor(s.Policy, prof),
 		}
 	}
 	d := s.Decide(prof)
-	sel := Selection{Profile: prof, Alg: d.Alg, Predicted: d.Predicted}
+	sel := Selection{Profile: prof, Alg: d.Alg, Predicted: d.Predicted, Bounds: d.Bounds}
 	if v, ok := fp.SpecSum(d.Alg); ok {
 		sel.Fast = true
 		return v, sel
@@ -199,10 +212,11 @@ func (s *Selector) SelectAndSumParallel(xs []float64, cfg parallel.Config) (floa
 	if prof.NonFinite {
 		return sum.Standard(xs), Selection{
 			Profile: prof, Alg: sum.StandardAlg, NonFinite: true,
+			Bounds: boundsFor(s.Policy, prof),
 		}, true
 	}
 	d := s.Decide(prof)
-	sel := Selection{Profile: prof, Alg: d.Alg, Predicted: d.Predicted}
+	sel := Selection{Profile: prof, Alg: d.Alg, Predicted: d.Predicted, Bounds: d.Bounds}
 	if v, ok := fp.SpecSum(d.Alg); ok {
 		sel.Fast = true
 		return v, sel, true

@@ -1,0 +1,131 @@
+package selector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// Empty-merge identity audit (issue 6, satellite 3): merging a profile
+// with an empty one (zero observations) must be an exact identity that
+// keeps the compensated Σx pair bit-correct. The general merge path is
+// value-preserving but not bit-preserving: IEEE addition and TwoSum
+// against a zero pair turn a -0 component into +0, so without the
+// identity short-circuit the number of empty shards in a reduction
+// tree could perturb the bits of a fused speculative Neumaier result.
+
+// bitsEqual compares two profiles field-by-field with float components
+// compared by bit pattern (reflect.DeepEqual uses ==, which cannot see
+// a -0/+0 flip).
+func bitsEqual(a, b Profile) bool {
+	return a.N == b.N &&
+		math.Float64bits(a.Sum.S) == math.Float64bits(b.Sum.S) &&
+		math.Float64bits(a.Sum.C) == math.Float64bits(b.Sum.C) &&
+		math.Float64bits(a.SumAbs.S) == math.Float64bits(b.SumAbs.S) &&
+		math.Float64bits(a.SumAbs.C) == math.Float64bits(b.SumAbs.C) &&
+		a.MaxExp == b.MaxExp && a.MinExp == b.MinExp &&
+		a.HasNonzero == b.HasNonzero &&
+		a.Pos == b.Pos && a.Neg == b.Neg &&
+		a.NonFinite == b.NonFinite
+}
+
+// mergeCorpus returns profiles spanning the merge surface, including
+// hand-built states with -0 components that no streaming fold produces
+// but the exported Profile type admits (persisted or foreign states).
+func mergeCorpus(t *testing.T) map[string]Profile {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	corpus := map[string]Profile{
+		"empty":        {},
+		"single":       ProfileOf([]float64{math.Pi}),
+		"zeros-only":   ProfileOf([]float64{0, 0}),
+		"cancelling":   ProfileOf([]float64{1e16, 1, -1e16}),
+		"poisoned":     ProfileOf([]float64{math.NaN()}),
+		"poisoned-n0":  {NonFinite: true},
+		"neg-zero-s":   {N: 2, Sum: CSum{S: math.Copysign(0, -1)}, SumAbs: CSum{S: 2}, HasNonzero: true, Pos: 1, Neg: 1},
+		"neg-zero-c":   {N: 2, Sum: CSum{S: 1, C: math.Copysign(0, -1)}, SumAbs: CSum{S: 3}, HasNonzero: true, Pos: 1, Neg: 1},
+		"neg-zero-abs": {N: 1, SumAbs: CSum{C: math.Copysign(0, -1)}, Pos: 1},
+	}
+	for i := 0; i < 8; i++ {
+		xs := gen.Spec{
+			N:        1 + rng.Intn(2000),
+			Cond:     math.Pow(10, float64(rng.Intn(12))),
+			DynRange: rng.Intn(40),
+			Seed:     uint64(100 + i),
+		}.Generate()
+		corpus[string(rune('a'+i))+"-random"] = ProfileOf(xs)
+	}
+	return corpus
+}
+
+// TestMergeEmptyIdentity: p.Merge(empty) and empty.Merge(p) return p
+// bit-for-bit, for every profile in the corpus, against both the
+// zero-value empty profile and a zeros-only profile... the latter has
+// observations (N > 0) and must NOT short-circuit, but still preserves
+// the other side's derived quantities.
+func TestMergeEmptyIdentity(t *testing.T) {
+	var empty Profile
+	for name, p := range mergeCorpus(t) {
+		if got := p.Merge(empty); !bitsEqual(got, p) {
+			t.Errorf("%s: p.Merge(empty) = %+v, want %+v", name, got, p)
+		}
+		if got := empty.Merge(p); !bitsEqual(got, p) {
+			t.Errorf("%s: empty.Merge(p) = %+v, want %+v", name, got, p)
+		}
+	}
+	if got := empty.Merge(empty); !bitsEqual(got, empty) {
+		t.Errorf("empty.Merge(empty) = %+v, want zero value", got)
+	}
+}
+
+// TestMergeEmptyShardsInvariant: folding empty shards into a merge
+// tree at any position leaves the final profile bit-identical — the
+// property the identity short-circuit exists to guarantee.
+func TestMergeEmptyShardsInvariant(t *testing.T) {
+	xs := gen.Spec{N: 4096, Cond: 1e8, DynRange: 24, Seed: 7}.Generate()
+	chunk := 512
+	var parts []Profile
+	for lo := 0; lo < len(xs); lo += chunk {
+		parts = append(parts, ProfileOf(xs[lo:lo+chunk]))
+	}
+	fold := func(ps []Profile) Profile {
+		var acc Profile
+		for _, p := range ps {
+			acc = acc.Merge(p)
+		}
+		return acc
+	}
+	want := fold(parts)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		withEmpties := make([]Profile, 0, 2*len(parts))
+		for _, p := range parts {
+			for rng.Intn(3) == 0 {
+				withEmpties = append(withEmpties, Profile{})
+			}
+			withEmpties = append(withEmpties, p)
+		}
+		withEmpties = append(withEmpties, Profile{})
+		if got := fold(withEmpties); !bitsEqual(got, want) {
+			t.Fatalf("trial %d: empty shards perturbed the merge: %+v vs %+v",
+				trial, got, want)
+		}
+	}
+}
+
+// TestMergeEmptyPoisonPropagates: the short-circuit must not swallow
+// the poison flag — a poisoned zero-observation profile (NonFinite set,
+// N == 0 is not constructible by observation but is by merge surface)
+// still poisons the result.
+func TestMergeEmptyPoisonPropagates(t *testing.T) {
+	p := ProfileOf([]float64{1, 2, 3})
+	poison := Profile{NonFinite: true}
+	if got := p.Merge(poison); !got.NonFinite || got.N != p.N {
+		t.Errorf("p.Merge(poison) = %+v, want poisoned with N=%d", got, p.N)
+	}
+	if got := poison.Merge(p); !got.NonFinite || got.N != p.N {
+		t.Errorf("poison.Merge(p) = %+v, want poisoned with N=%d", got, p.N)
+	}
+}

@@ -56,10 +56,22 @@ func NewHeuristicPolicy() HeuristicPolicy {
 }
 
 // Predict returns the modeled relative variability of alg on profile p.
+//
+// Degenerate profiles short-circuit to 0: a reduction over at most one
+// value admits exactly one evaluation order, and an all-zero set sums
+// to zero under every algorithm and tree, so no run-to-run variability
+// exists for any operator (the general shapes would otherwise
+// manufacture a c·u·k floor out of Cond's empty-set convention k = 1).
+// Poisoned (NonFinite) profiles keep the general path: Cond is +Inf
+// there, every non-reproducible prediction is +Inf, and the ladder
+// walk escalates to a reproducible rung.
 func (hp HeuristicPolicy) Predict(alg sum.Algorithm, p Profile) float64 {
+	if !p.NonFinite && (p.N <= 1 || p.SumAbs.Float64() == 0) {
+		return 0
+	}
 	n := float64(p.N)
 	if n < 1 {
-		n = 1
+		n = 1 // poisoned empty profiles: keep the shapes finite
 	}
 	k := p.Cond()
 	u := fpu.UnitRoundoff

@@ -1,0 +1,227 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpu"
+	"repro/internal/sum"
+)
+
+// Degenerate-profile audit of HeuristicPolicy.Predict and the γ_n-style
+// bound shapes (issue 6, satellite 1): n ∈ {0, 1}, all-zero inputs
+// (Σ|x| = 0, condition number 0/0), and n large enough that n·u ≥ 1
+// turns the raw γ_n formula negative. The intended behavior pinned
+// here:
+//
+//   - at most one observation, or an all-zero set: exactly one result
+//     is reachable under every algorithm and tree, so the predicted
+//     variability is exactly 0 for every operator;
+//   - poisoned (NonFinite) profiles: every non-reproducible prediction
+//     is +Inf (Cond is +Inf) and selection escalates to a reproducible
+//     rung;
+//   - γ_m: 0 for m ≤ 0, +Inf once m·u ≥ 1, never negative or NaN.
+
+// degenerateProfiles returns the audit matrix: name → profile expected
+// to predict 0 for every algorithm.
+func degenerateProfiles() map[string]Profile {
+	return map[string]Profile{
+		"empty":          {},
+		"single":         ProfileOf([]float64{3.5}),
+		"single-neg":     ProfileOf([]float64{-1e-300}),
+		"all-zero":       ProfileOf([]float64{0, 0, 0}),
+		"all-signed-0":   ProfileOf([]float64{0, math.Copysign(0, -1), 0}),
+		"n0-constructed": {N: 0},
+	}
+}
+
+// TestPredictDegenerateProfilesZero: the full (degenerate profile ×
+// algorithm) table predicts exactly 0 — no c·u·k floor manufactured
+// out of Cond's empty-set convention k = 1.
+func TestPredictDegenerateProfilesZero(t *testing.T) {
+	hp := NewHeuristicPolicy()
+	for name, p := range degenerateProfiles() {
+		for _, alg := range sum.Algorithms {
+			if got := hp.Predict(alg, p); got != 0 {
+				t.Errorf("%s: Predict(%v) = %g, want 0", name, alg, got)
+			}
+		}
+	}
+}
+
+// TestSelectDegenerateProfilesPicksCheapest: a zero prediction meets
+// every tolerance, so degenerate profiles always select the ladder's
+// first rung — even at tolerance 0.
+func TestSelectDegenerateProfilesPicksCheapest(t *testing.T) {
+	hp := NewHeuristicPolicy()
+	for name, p := range degenerateProfiles() {
+		for _, tol := range []float64{0, 1e-15, 1e-6} {
+			alg, pred := hp.Select(p, Requirement{Tolerance: tol})
+			if alg != sum.SelectionLadder[0] || pred != 0 {
+				t.Errorf("%s tol=%g: selected %v pred=%g, want %v pred=0",
+					name, tol, alg, pred, sum.SelectionLadder[0])
+			}
+		}
+	}
+}
+
+// TestPredictPoisonedProfiles: non-finite data keeps the general path —
+// infinite predictions for every non-reproducible operator, 0 for the
+// reproducible rungs, and selection escalates to a reproducible rung at
+// any finite tolerance.
+func TestPredictPoisonedProfiles(t *testing.T) {
+	hp := NewHeuristicPolicy()
+	poisoned := map[string]Profile{
+		"nan":       ProfileOf([]float64{1, math.NaN(), 2}),
+		"inf":       ProfileOf([]float64{math.Inf(1)}),
+		"poison-n0": {NonFinite: true},
+		"poison-n1": {N: 1, NonFinite: true},
+	}
+	for name, p := range poisoned {
+		for _, alg := range sum.Algorithms {
+			got := hp.Predict(alg, p)
+			if alg.Reproducible() {
+				if got != 0 {
+					t.Errorf("%s: Predict(%v) = %g, want 0 (reproducible)", name, alg, got)
+				}
+			} else if !math.IsInf(got, 1) {
+				t.Errorf("%s: Predict(%v) = %g, want +Inf", name, alg, got)
+			}
+		}
+		alg, pred := hp.Select(p, Requirement{Tolerance: 1e-6})
+		if !alg.Reproducible() || pred != 0 {
+			t.Errorf("%s: selected %v pred=%g, want reproducible pred=0", name, alg, pred)
+		}
+	}
+}
+
+// TestGammaShape pins γ_m(u) across its domain: zero below one
+// rounding, the textbook value in the classical regime, +Inf (never
+// negative, never NaN) once m·u ≥ 1.
+func TestGammaShape(t *testing.T) {
+	u := fpu.UnitRoundoff
+	if got := Gamma(0, u); got != 0 {
+		t.Errorf("Gamma(0) = %g, want 0", got)
+	}
+	if got := Gamma(-5, u); got != 0 {
+		t.Errorf("Gamma(-5) = %g, want 0", got)
+	}
+	if got, want := Gamma(1, u), u/(1-u); got != want {
+		t.Errorf("Gamma(1) = %g, want %g", got, want)
+	}
+	if got := Gamma(1000, u); got <= 1000*u*(1-1e-12) || got >= 2*1000*u {
+		t.Errorf("Gamma(1000) = %g out of classical range", got)
+	}
+	// Exactly at and beyond the m·u = 1 wall: the raw formula divides
+	// by zero, then turns negative. Gamma must pin +Inf instead.
+	for _, m := range []float64{1 / u, 1/u + 1, 2 / u, 0x1p60, math.Inf(1)} {
+		if got := Gamma(m, u); !math.IsInf(got, 1) {
+			t.Errorf("Gamma(%g) = %g, want +Inf", m, got)
+		}
+	}
+	// Monotone in m over the classical regime.
+	prev := 0.0
+	for m := 1.0; m < 1e12; m *= 10 {
+		g := Gamma(m, u)
+		if g < prev || math.IsNaN(g) {
+			t.Fatalf("Gamma not monotone at m=%g: %g < %g", m, g, prev)
+		}
+		prev = g
+	}
+}
+
+// TestBoundsDegenerateProfiles: the bound estimators agree with the
+// pinned degenerate semantics — zero bounds for ≤1-observation and
+// all-zero profiles (except the prerounding engines' dropped-residual
+// terms on a lone operand), +Inf and Conclusive=false on poisoned
+// profiles.
+func TestBoundsDegenerateProfiles(t *testing.T) {
+	for name, p := range degenerateProfiles() {
+		b := ComputeBounds(p, 0)
+		if !b.Conclusive {
+			t.Errorf("%s: bounds inconclusive", name)
+		}
+		for _, alg := range sum.Algorithms {
+			bd := b.For(alg)
+			isLoneOperand := p.N == 1 && p.SumAbs.Float64() > 0
+			if isLoneOperand && (alg == sum.BinnedAlg || alg == sum.PreroundedAlg) {
+				// The prerounding engines may drop residual bits even
+				// of a single operand; their bounds must stay finite
+				// and tiny relative to the operand.
+				if bd.Det < 0 || bd.Det > 0x1p-20*p.SumAbs.Float64() {
+					t.Errorf("%s: %v bound %g out of range", name, alg, bd.Det)
+				}
+				continue
+			}
+			if bd.Det != 0 || bd.Prob != 0 {
+				t.Errorf("%s: %v bound %+v, want exactly 0", name, alg, bd)
+			}
+			if rel := b.Rel(alg); rel.Det != 0 || rel.Prob != 0 {
+				t.Errorf("%s: %v relative bound %+v, want exactly 0", name, alg, rel)
+			}
+		}
+	}
+
+	poisoned := ProfileOf([]float64{1, math.Inf(-1)})
+	b := ComputeBounds(poisoned, 0)
+	if b.Conclusive {
+		t.Error("poisoned profile: bounds marked conclusive")
+	}
+	for _, alg := range sum.Algorithms {
+		if bd := b.For(alg); !math.IsInf(bd.Det, 1) || !math.IsInf(bd.Prob, 1) {
+			t.Errorf("poisoned: %v bound %+v, want +Inf", alg, bd)
+		}
+	}
+}
+
+// TestBoundsHugeN: once n·u ≥ 1 the γ-based deterministic bounds are
+// vacuous (+Inf) — never negative, never NaN — and the probabilistic
+// policy escalates to a reproducible rung rather than diverging.
+func TestBoundsHugeN(t *testing.T) {
+	p := Profile{
+		N:          int64(1) << 60, // n·u = 2^60·2^-53 = 128 ≥ 1
+		HasNonzero: true,
+		MaxExp:     0,
+		MinExp:     0,
+		Pos:        int64(1) << 60,
+		Sum:        CSum{S: 1e10},
+		SumAbs:     CSum{S: 1e10},
+	}
+	b := ComputeBounds(p, 0)
+	if !b.Conclusive {
+		t.Fatal("huge-n bounds inconclusive")
+	}
+	for _, alg := range sum.Algorithms {
+		bd := b.For(alg)
+		if math.IsNaN(bd.Det) || math.IsNaN(bd.Prob) || bd.Det < 0 || bd.Prob < 0 {
+			t.Errorf("huge n: %v bound %+v is NaN/negative", alg, bd)
+		}
+	}
+	if st := b.For(sum.StandardAlg); !math.IsInf(st.Det, 1) {
+		t.Errorf("huge n: ST deterministic bound %g, want +Inf (vacuous)", st.Det)
+	}
+
+	pp := NewProbabilisticPolicy(0)
+	alg, pred := pp.Select(p, Requirement{Tolerance: 1e-9})
+	if !alg.Reproducible() || pred != 0 {
+		t.Errorf("huge n: probabilistic policy picked %v pred=%g, want reproducible", alg, pred)
+	}
+}
+
+// TestProbabilisticPolicyDegenerate: the bound-driven policy inherits
+// the degenerate semantics — cheapest rung for ≤1-observation and
+// all-zero profiles, fallback escalation for poisoned ones.
+func TestProbabilisticPolicyDegenerate(t *testing.T) {
+	pp := NewProbabilisticPolicy(0)
+	for name, p := range degenerateProfiles() {
+		alg, pred := pp.Select(p, Requirement{Tolerance: 0})
+		if alg != sum.SelectionLadder[0] || pred != 0 {
+			t.Errorf("%s: picked %v pred=%g, want %v pred=0",
+				name, alg, pred, sum.SelectionLadder[0])
+		}
+	}
+	alg, pred := pp.Select(ProfileOf([]float64{math.NaN()}), Requirement{Tolerance: 1e-6})
+	if !alg.Reproducible() || pred != 0 {
+		t.Errorf("poisoned: picked %v pred=%g, want reproducible pred=0", alg, pred)
+	}
+}

@@ -152,7 +152,22 @@ func (p Profile) String() string {
 
 // Merge combines two profiles; the result describes the union of the
 // two value sets.
+//
+// Merging with an empty profile (zero observations: N == 0 and no
+// poison flag — every constructor counts each observed value in N) is
+// an exact identity, returned without touching the compensated pairs:
+// the general path's TwoSum against a zero pair is value-preserving
+// but not bit-preserving (IEEE addition turns a -0 partial into +0),
+// and the identity must keep the Σx pair bit-correct so fused
+// speculative Neumaier results stay independent of how many empty
+// shards a reduction tree happens to contain.
 func (p Profile) Merge(q Profile) Profile {
+	if q.N == 0 && !q.NonFinite {
+		return p
+	}
+	if p.N == 0 && !p.NonFinite {
+		return q
+	}
 	out := Profile{
 		N:         p.N + q.N,
 		Sum:       p.Sum.Add(q.Sum),

@@ -291,10 +291,12 @@ func TestHeuristicPredictAllAlgorithms(t *testing.T) {
 	if !math.IsInf(hp.Predict(sum.Algorithm(99), p), 1) {
 		t.Error("invalid algorithm should predict Inf")
 	}
-	// Empty profile is handled (n clamped to 1).
+	// An empty reduction admits exactly one result: variability 0
+	// (the degenerate-profile table tests in policy_degenerate_test.go
+	// pin the full n ∈ {0,1} / all-zero matrix).
 	var empty Profile
-	if v := hp.Predict(sum.StandardAlg, empty); v <= 0 || math.IsNaN(v) {
-		t.Errorf("empty profile prediction %g", v)
+	if v := hp.Predict(sum.StandardAlg, empty); v != 0 {
+		t.Errorf("empty profile prediction %g, want 0", v)
 	}
 }
 

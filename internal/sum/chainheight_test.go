@@ -1,0 +1,36 @@
+package sum
+
+import "testing"
+
+// chainHeightRef recomputes Pairwise's longest accumulation chain by
+// literally mirroring the recursion.
+func chainHeightRef(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if n <= PairwiseBlock {
+		return n - 1
+	}
+	half := n / 2
+	a, b := chainHeightRef(half), chainHeightRef(n-half)
+	if b > a {
+		a = b
+	}
+	return a + 1
+}
+
+// TestPairwiseChainHeight pins the closed form against the recursion —
+// the error-bound estimators depend on this height being the real one
+// (the 64-wide serial base case, not the ideal ⌈log2 n⌉).
+func TestPairwiseChainHeight(t *testing.T) {
+	for n := 0; n <= 4096; n++ {
+		if got, want := PairwiseChainHeight(n), chainHeightRef(n); got != want {
+			t.Fatalf("PairwiseChainHeight(%d) = %d, want %d", n, got, want)
+		}
+	}
+	for _, n := range []int{1 << 13, 1<<16 + 3, 1 << 20, 1<<24 - 1} {
+		if got, want := PairwiseChainHeight(n), chainHeightRef(n); got != want {
+			t.Fatalf("PairwiseChainHeight(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

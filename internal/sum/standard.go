@@ -15,17 +15,58 @@ func Standard(xs []float64) float64 {
 	return s
 }
 
+// PairwiseBlock is Pairwise's serial base-case width (exported for the
+// selector's chain-shape error estimators).
+const PairwiseBlock = 64
+
 // Pairwise computes the sum with a recursive balanced split, falling
-// back to the iterative loop below blockSize (the usual cache-friendly
-// pairwise summation).
+// back to the iterative loop below PairwiseBlock (the usual
+// cache-friendly pairwise summation).
 func Pairwise(xs []float64) float64 {
-	const blockSize = 64
 	n := len(xs)
-	if n <= blockSize {
+	if n <= PairwiseBlock {
 		return Standard(xs)
 	}
 	half := n / 2
 	return Pairwise(xs[:half]) + Pairwise(xs[half:])
+}
+
+// PairwiseChainHeight returns the longest floating-point accumulation
+// chain of Pairwise(n values) — up to PairwiseBlock-1 additions in a
+// serial base block plus one per recursion level above it. Error-bound
+// estimators must use this height, not the ideal ⌈log2 n⌉ of
+// element-level pairwise summation: the blocked base case makes the
+// real chain markedly longer (69 at n = 4096, vs 12 ideal).
+//
+// The walk is exact: the floor/ceil splits mean node sizes at any
+// depth take at most two consecutive values [lo, hi], every splitting
+// node produces both a floor and a ceil child, and a node terminates
+// (serial chain size-1) once its size fits the base block. O(log n),
+// no allocation (the estimators run on the fused serving fast path).
+func PairwiseChainHeight(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	best := 0
+	lo, hi := n, n
+	for depth := 0; ; depth++ {
+		if lo <= PairwiseBlock {
+			t := lo
+			if hi <= PairwiseBlock {
+				t = hi
+			}
+			if h := depth + t - 1; h > best {
+				best = h
+			}
+			if hi <= PairwiseBlock {
+				return best
+			}
+			// Only the hi-sized nodes split further.
+			lo, hi = hi/2, hi-hi/2
+		} else {
+			lo, hi = lo/2, hi-hi/2
+		}
+	}
 }
 
 // SortedAscending sums |x|-ascending — the "conventional wisdom" order

@@ -72,8 +72,43 @@ type Report = core.Report
 // Profile summarizes the runtime-estimable properties of a value set.
 type Profile = selector.Profile
 
+// Policy maps a data profile and a reproducibility requirement to the
+// cheapest acceptable algorithm (see WithPolicy).
+type Policy = selector.Policy
+
+// Bounds holds per-algorithm Hallman–Ipsen forward-error bound
+// estimates (deterministic and λ-confidence probabilistic) computed
+// from a Profile — every Report carries them at no extra data pass.
+type Bounds = selector.Bounds
+
+// Bound is one algorithm's (deterministic, probabilistic) absolute
+// forward-error bound pair within a Bounds estimate.
+type Bound = selector.Bound
+
 // Option configures a Runtime (see WithWorkers, WithChunkSize).
 type Option = core.Option
+
+// WithPolicy substitutes the Runtime's selection policy: the analytic
+// default can be replaced by a measurement-backed
+// selector.CalibratedPolicy or the bound-driven ProbabilisticPolicy.
+func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
+
+// NewProbabilisticPolicy returns the Hallman–Ipsen bound-driven
+// policy: it accepts the cheapest algorithm whose λ-confidence
+// relative error bound clears the tolerance (lambda <= 0 selects the
+// default λ=4, failure probability 2·exp(-λ²/2) ≈ 6.7e-4), falling
+// back to the analytic heuristic when the bounds are inconclusive.
+// Its picks are cheaper than the worst-case heuristic's by design —
+// probabilistic bounds are ~sqrt(n) tighter than deterministic ones.
+func NewProbabilisticPolicy(lambda float64) Policy {
+	return selector.NewProbabilisticPolicy(lambda)
+}
+
+// ComputeBounds evaluates the forward-error bound estimators for a
+// profile at confidence lambda (<= 0 selects the default λ=4).
+func ComputeBounds(p Profile, lambda float64) Bounds {
+	return selector.ComputeBounds(p, lambda)
+}
 
 // WithWorkers routes large reductions through the deterministic chunked
 // parallel engine with the given pool size (0 selects GOMAXPROCS).
