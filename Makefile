@@ -18,6 +18,10 @@ test:
 # ground truth (deterministic bounds never violated, probabilistic at
 # most at the stated rate) plus the selection-path audits: degenerate
 # profiles, cache bucket boundaries, and empty-shard merge identity.
+# The final step is the binned performance gate: a fresh measurement of
+# the two-level BN kernel against the non-reproducible ST kernel floor
+# at 1M elements, failed when BN drifts past 2.2x (the acceptance
+# envelope around the <=2x target, see BENCH_binned.json).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -27,6 +31,8 @@ verify:
 	$(GO) test -run 'Binned|Merged|Invariance|Permutation|Specials|Ladder|Allocs' ./internal/binned ./internal/sum ./internal/kernel
 	$(GO) test -run 'BoundsDifferential|Probabilistic|Degenerate|Boundary|MergeEmpty|ChainHeight|Gamma' ./internal/selector ./internal/sum ./internal/kernel
 	$(GO) test -run 'BoundsExt' ./internal/experiments
+	$(GO) test ./internal/kernel -run '^$$' -bench 'BinnedVsAlternatives1M/(binned|stkernel)' -benchtime 0.3s \
+		| $(GO) run ./cmd/benchjson -ratio 'BenchmarkBinnedVsAlternatives1M/binned,BenchmarkBinnedVsAlternatives1M/stkernel' -max 2.2
 
 bench:
 	$(GO) test -bench=. -benchmem

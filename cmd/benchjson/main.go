@@ -19,6 +19,16 @@
 //
 //	benchjson -compare old.json new.json
 //	benchjson -compare -threshold 10 old.json new.json  # CI gate
+//
+// With -ratio num,den, benchjson reports the ns/op ratio between two
+// benchmarks of one document (a recorded JSON file argument, or `go
+// test -bench` text on stdin) and -max turns it into an absolute
+// performance gate: exit status 1 when num/den exceeds the given
+// factor. This is how `make verify` pins the binned reproducible
+// kernel to its acceptance envelope over the ST kernel floor:
+//
+//	go test ./internal/kernel -run '^$' -bench BinnedVsAlternatives |
+//	  benchjson -ratio 'BenchmarkBinnedVsAlternatives1M/binned,BenchmarkBinnedVsAlternatives1M/stkernel' -max 2.2
 package main
 
 import (
@@ -59,6 +69,10 @@ func main() {
 		"compare two recorded JSON documents: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0,
 		"with -compare: exit nonzero when any shared benchmark's ns/op regressed by more than this percentage (0 disables gating)")
+	ratio := flag.String("ratio", "",
+		"report ns/op ratio between two benchmarks, given as 'numName,denName'; reads a recorded JSON file argument or bench text on stdin")
+	maxRatio := flag.Float64("max", 0,
+		"with -ratio: exit nonzero when the ratio exceeds this factor (0 disables gating)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -81,6 +95,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: -threshold requires -compare")
 		os.Exit(2)
 	}
+	if *ratio != "" {
+		if err := gateRatio(*ratio, *maxRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *maxRatio != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -max requires -ratio")
+		os.Exit(2)
+	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -96,6 +121,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gateRatio resolves the 'num,den' benchmark pair in a recorded JSON
+// document (single file argument) or in bench text on stdin, prints
+// the ns/op ratio, and errors when it exceeds max (if max > 0) — the
+// absolute performance gate used by `make verify`.
+func gateRatio(spec string, max float64) error {
+	num, den, ok := strings.Cut(spec, ",")
+	if !ok || num == "" || den == "" {
+		return fmt.Errorf("-ratio wants 'numName,denName', got %q", spec)
+	}
+	var rep Report
+	var err error
+	switch flag.NArg() {
+	case 0:
+		rep, err = parse(bufio.NewScanner(os.Stdin))
+	case 1:
+		rep, err = loadReport(flag.Arg(0))
+	default:
+		return fmt.Errorf("-ratio takes at most one file argument")
+	}
+	if err != nil {
+		return err
+	}
+	lookup := func(name string) (Result, error) {
+		for _, r := range rep.Results {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("benchmark %q not found", name)
+	}
+	nr, err := lookup(num)
+	if err != nil {
+		return err
+	}
+	dr, err := lookup(den)
+	if err != nil {
+		return err
+	}
+	if dr.NsPerOp <= 0 {
+		return fmt.Errorf("denominator %q has non-positive ns/op %g", den, dr.NsPerOp)
+	}
+	r := nr.NsPerOp / dr.NsPerOp
+	fmt.Printf("%s / %s = %.3fx (%.1f / %.1f ns/op)\n", num, den, r, nr.NsPerOp, dr.NsPerOp)
+	if max > 0 && r > max {
+		return fmt.Errorf("ratio %.3fx exceeds the %.2fx gate", r, max)
+	}
+	return nil
 }
 
 // loadReport reads one previously recorded document.

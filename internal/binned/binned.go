@@ -4,21 +4,25 @@
 //
 // The float64 exponent range is partitioned into fixed, absolute bins of
 // BinWidth = 32 bits: bin j holds multiples of the quantum q_j =
-// 2^(32j-1074). Each operand is pre-rounded into Folds = 3 chunks, one
-// per bin, starting at the operand's own top bin (located by one shift
-// of the raw exponent field); chunk f is extracted with the Dekker
-// round-to-multiple trick and the residual below the lowest chunk is
-// discarded. Unlike the windowed prerounded operator (sum.PRConfig),
-// the bin grid spans the whole exponent range, so
+// 2^(32j-1074). Each operand is split into Folds = 3 chunks, one per
+// bin, starting at the operand's own top bin (located by one shift of
+// the raw exponent field); chunk f is extracted with the Dekker
+// round-to-multiple trick. The third chunk's grid, q_{top-2}, is at
+// least 2^12 finer than the operand's own ulp (a window spans 32
+// exponents, the significand has 52 fraction bits), so the residual
+// below the lowest chunk is exactly zero: the deposit retains every
+// operand exactly. Unlike the windowed prerounded operator
+// (sum.PRConfig), the bin grid spans the whole exponent range, so
 //
-//   - the retained value r(x) of an operand is a pure function of x
+//   - the deposited chunks of an operand are a pure function of x
 //     alone (never of accumulator state, a running max, or a window),
+//     and sum exactly to x,
 //   - every deposit, carry, and merge is an exact floating-point
 //     operation (chunks are exact multiples of their bin's quantum and
 //     bin magnitudes are kept under 2^53 quanta by a fixed
 //     renormalization schedule), and
-//   - Finalize rounds the exact represented value Σ r(x_i) with an
-//     exact superaccumulator pass over the ~66 bins.
+//   - Finalize rounds the exact represented value Σ x_i with an exact
+//     superaccumulator pass over the ~66 bins.
 //
 // The represented value is therefore the same real number for every
 // deposit order, chunking, merge tree, worker count, and lane width —
@@ -28,12 +32,20 @@
 // cannot affect the result, which is what frees the carry schedule to
 // be a pure amortized-cost knob instead of part of the plan.
 //
-// Accuracy: each operand retains Folds*BinWidth = 96 bins-worth of
-// low-bound 64 significant bits below its own leading bit (the dropped
-// residual is < 2^-65 |x|), so the relative error of the final sum is
-// bounded by ~2^-64 · K(x) where K is the sum condition number —
-// between Neumaier (53-bit compensated) and composite precision
-// (~106-bit), at a small constant factor over the plain ST loop.
+// Accuracy: because every deposit is exact, Finalize returns the
+// correctly rounded (nearest, ties to even) float64 of the exact sum
+// Σ x_i — the same bits as the exact superaccumulator — independent of
+// condition number, at a small constant factor over the plain ST loop.
+// (The earlier design note bounded a "dropped residual" at < 2^-65|x|;
+// the residual is in fact identically zero, see DESIGN.md.)
+//
+// Deposits default to the two-level accumulate-direct batch kernel
+// (twolevel.go): register-resident level-0 partials over an anchored
+// two-window range, flushed exactly into the bins on a fixed schedule.
+// Exactness makes the kernel choice — reference per-element loop,
+// portable groups, or the AVX2 engine — invisible in the Finalize
+// bits; AddSliceRef keeps the per-element reference path as the
+// oracle.
 //
 // Capacity is unbounded: a renormalization pass runs every renormEvery
 // deposits (and on demand at merges), restoring per-bin headroom, so
@@ -308,20 +320,24 @@ func Sum(xs []float64) float64 {
 	return st.Finalize()
 }
 
-// AddSlice folds every element of xs into st with the batch kernel:
-// renormalization bookkeeping is hoisted out of the element loop (one
-// check per renormEvery elements) and the deposit loop runs two
-// interleaved bin arrays to break the per-element extraction dependency
-// chain. Because every deposit and lane merge is exact, the result is
-// bit-identical to element-wise Add — lane count and batch boundaries
-// are pure speed knobs, not part of the plan.
+// AddSlice folds every element of xs into st with the two-level batch
+// kernel (twolevel.go): renormalization bookkeeping is hoisted out of
+// the element loop (one check per renormEvery elements, which is also
+// the level-0 run bound R) and eligible elements plain-add into an
+// anchored quad of register partials, flushed exactly at every
+// re-anchor and batch end. Because every operation is exact, the
+// result is bit-identical to element-wise Add and to the reference
+// path (AddSliceRef) — kernel engine and batch boundaries are pure
+// speed knobs, not part of the plan.
 func (st *State) AddSlice(xs []float64) {
-	st.addSliceLanes(xs, 2)
+	st.addSliceLanes(xs, 4)
 }
 
-// AddSliceLanes is AddSlice with an explicit interleave width k (1, 2,
-// 4, or 8; 8 runs the widest 4-lane kernel). All widths produce
-// bit-identical states.
+// AddSliceLanes is AddSlice with an explicit level-0 sublane width k:
+// 1 selects the per-element reference deposit loop, 2 the two-sublane
+// group kernel, and 4 or 8 the widest kernel available (the AVX2
+// engine where supported). All widths produce states with the same
+// represented value and identical Finalize bits.
 func (st *State) AddSliceLanes(xs []float64, k int) {
 	switch k {
 	case 1, 2, 4, 8:
@@ -332,6 +348,52 @@ func (st *State) AddSliceLanes(xs []float64, k int) {
 }
 
 func (st *State) addSliceLanes(xs []float64, k int) {
+	for len(xs) > 0 {
+		batch := xs
+		if budget := renormEvery - st.pend; int64(len(batch)) > budget {
+			batch = batch[:budget]
+		}
+		switch {
+		case k >= 4:
+			st.batchTwoLevel(batch, true)
+		case k == 2:
+			st.batchTwoLevel(batch, false)
+		default:
+			st.batch1(batch)
+		}
+		st.count += int64(len(batch))
+		st.pend += int64(len(batch))
+		if st.pend >= renormEvery {
+			st.renorm()
+		}
+		xs = xs[len(batch):]
+	}
+}
+
+// AddSliceRef folds xs with the per-element three-fold reference
+// deposit loop — the pre-two-level batch path, kept as the oracle the
+// fast path is pinned against. It produces the same represented value
+// and Finalize bits as AddSlice; the in-memory bin decomposition may
+// differ (the two-level path splits window-(A-1) elements against the
+// anchor window's grids).
+func (st *State) AddSliceRef(xs []float64) {
+	st.addSliceRefLanes(xs, 2)
+}
+
+// AddSliceRefLanes is AddSliceRef with the reference path's interleave
+// width k (1, 2, 4, or 8; 8 runs the widest 4-lane kernel). Reference
+// widths interleave whole bin arrays, so — unlike the two-level path —
+// all reference widths produce field-for-field identical states.
+func (st *State) AddSliceRefLanes(xs []float64, k int) {
+	switch k {
+	case 1, 2, 4, 8:
+		st.addSliceRefLanes(xs, k)
+	default:
+		panic("binned: invalid lane width (want 1, 2, 4, or 8)")
+	}
+}
+
+func (st *State) addSliceRefLanes(xs []float64, k int) {
 	for len(xs) > 0 {
 		batch := xs
 		if budget := renormEvery - st.pend; int64(len(batch)) > budget {

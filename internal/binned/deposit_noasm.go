@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package binned
+
+// depositGroupsFast runs the widest group kernel this CPU supports:
+// the portable four-sublane kernel on architectures without an
+// assembly engine.
+func depositGroupsFast(xs []float64, consts *[3]float64, efLo, efSpan int64, q *[16]float64) int64 {
+	return depositGroupsGo(xs, consts, efLo, efSpan, q)
+}

@@ -191,9 +191,18 @@ func TestCheapestAcceptableDeterministicOrder(t *testing.T) {
 			t.Fatalf("trial %d: got %v ok=%v, want ST", trial, alg, ok)
 		}
 	}
-	// Drop the two cheapest: the next by cost order must win, stably.
+	// Drop the two cheapest: the next by cost order must win, stably
+	// (BN, now ranked directly after the plain loops).
 	res.RelStdDev[sum.StandardAlg] = 1
 	res.RelStdDev[sum.PairwiseAlg] = math.NaN()
+	for trial := 0; trial < 500; trial++ {
+		alg, ok := CheapestAcceptable(res, 1e-9)
+		if !ok || alg != sum.BinnedAlg {
+			t.Fatalf("trial %d: got %v ok=%v, want BN", trial, alg, ok)
+		}
+	}
+	// Drop BN as well: the Kahan rung follows.
+	res.RelStdDev[sum.BinnedAlg] = 1
 	for trial := 0; trial < 500; trial++ {
 		alg, ok := CheapestAcceptable(res, 1e-9)
 		if !ok || alg != sum.KahanAlg {

@@ -26,26 +26,38 @@ func TestBinnedKernelEquivalenceAndAllocs(t *testing.T) {
 	if got := math.Float64bits(st.Finalize()); got != want {
 		t.Fatalf("kernel.Binned: %x != element-wise %x", got, want)
 	}
+	refSt := kernel.BinnedRef(xs)
+	if got := math.Float64bits(refSt.Finalize()); got != want {
+		t.Fatalf("kernel.BinnedRef: %x != element-wise %x", got, want)
+	}
 	for _, k := range []int{1, 2, 4, 8} {
 		lst := kernel.LaneBinned(xs, k)
 		if got := math.Float64bits(lst.Finalize()); got != want {
 			t.Fatalf("LaneBinned(k=%d): %x != element-wise %x", k, got, want)
 		}
+		allocs := testing.AllocsPerRun(10, func() {
+			sinkBN = kernel.LaneBinned(xs, k)
+			sinkF = sinkBN.Finalize()
+		})
+		if allocs != 0 {
+			t.Fatalf("LaneBinned(k=%d)+Finalize allocates %v per run, want 0", k, allocs)
+		}
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		sinkBN = kernel.LaneBinned(xs, 4)
+		sinkBN = kernel.Binned(xs)
 		sinkF = sinkBN.Finalize()
 	})
 	if allocs != 0 {
-		t.Fatalf("LaneBinned+Finalize allocates %v per run, want 0", allocs)
+		t.Fatalf("Binned+Finalize allocates %v per run, want 0", allocs)
 	}
 }
 
 // BenchmarkBinnedSum1M is the headline artifact benchmark: the binned
-// reproducible kernel over the canonical 1M-element workload, at each
-// interleave width. All widths produce identical bits; only throughput
-// varies (see TestBinnedKernelEquivalenceAndAllocs for the 0-alloc
-// contract).
+// reproducible kernel over the canonical 1M-element workload — the
+// two-level default at each sublane width, and the reference
+// per-element deposit loop it replaced. All variants produce identical
+// bits; only throughput varies (see TestBinnedKernelEquivalenceAndAllocs
+// for the 0-alloc contract).
 func BenchmarkBinnedSum1M(b *testing.B) {
 	xs := benchData()
 	b.Run("kernel", func(b *testing.B) {
@@ -54,13 +66,31 @@ func BenchmarkBinnedSum1M(b *testing.B) {
 			sinkF = st.Finalize()
 		}
 	})
-	for _, k := range []int{2, 4, 8} {
+	for _, k := range []int{1, 2, 4, 8} {
 		b.Run("lane"+string(rune('0'+k)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st := kernel.LaneBinned(xs, k)
 				sinkF = st.Finalize()
 			}
 		})
+	}
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := kernel.BinnedRef(xs)
+			sinkF = st.Finalize()
+		}
+	})
+}
+
+// BenchmarkBinnedFinalize isolates the Finalize-only cost — the
+// superacc pass (superacc.AddLdexp for the scaled bins) over the ~66
+// bins of a populated 1M-element state. It must stay far below 1% of
+// the sum itself for the "Finalize off the hot path" framing to hold.
+func BenchmarkBinnedFinalize(b *testing.B) {
+	st := kernel.Binned(benchData())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = st.Finalize()
 	}
 }
 

@@ -176,15 +176,13 @@ func ComputeBoundsU(p Profile, lambda float64, u float64, plan BoundPlan) Bounds
 	case p.N <= 1 || abs == 0:
 		// A single operand is returned by every rounding-error-free
 		// fold exactly, and an all-zero (or empty) set sums to zero
-		// under every algorithm; only the prerounding engines can
-		// still drop residual bits of a lone operand.
+		// under every algorithm; only the windowed prerounding engine
+		// can still drop residual bits of a lone operand (the binned
+		// engine's deposit is exact, so its bound is zero here too).
 		b.Conclusive = true
 		if p.N == 1 && abs > 0 {
 			maxAbs := math.Ldexp(1, p.MaxExp+1)
-			bn := Bound{Det: 0x1p-64 * abs, Prob: 0x1p-64 * abs}
-			pr := prBound(1, maxAbs, 0)
-			b.ByAlg[sum.BinnedAlg] = bn
-			b.ByAlg[sum.PreroundedAlg] = pr
+			b.ByAlg[sum.PreroundedAlg] = prBound(1, maxAbs, 0)
 		}
 		return b
 	}
@@ -277,10 +275,14 @@ func ComputeBoundsU(p Profile, lambda float64, u float64, plan BoundPlan) Bounds
 	b.ByAlg[sum.NeumaierAlg] = Bound{Det: nDet, Prob: nProb}
 	b.ByAlg[sum.CompositeAlg] = Bound{Det: nDet, Prob: nProb}
 
-	// BN — the full-range binned engine retains ~64 significant bits
-	// below each operand's leading bit (dropped residual < 2^-65·|x|,
-	// see internal/binned) and finalizes with one exact rounding.
-	bn := u*s + 0x1p-64*abs
+	// BN — the full-range binned engine's deposit is fully exact (the
+	// third fold's grid sits ≥ 2^12 below any in-window ulp, so no
+	// residual is ever dropped; see internal/binned and DESIGN.md), and
+	// Finalize returns the correctly-rounded exact sum. The only error
+	// is that final rounding, u·|S|, padded by the same 2γ²·Σ|x| guard
+	// the exactly-compensated operators carry for the profile's own
+	// estimate of |S|.
+	bn := u*s + 2*gN*gN*abs
 	b.ByAlg[sum.BinnedAlg] = Bound{Det: bn, Prob: bn}
 
 	// PR — the windowed prerounded operator's dropped-residual model

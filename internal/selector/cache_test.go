@@ -32,6 +32,41 @@ func TestCacheHitMissSameDecision(t *testing.T) {
 	}
 }
 
+// TestCacheHitMissPinNewRanks pins memoization under the re-ranked
+// cost ladder (BN directly after the plain loops): a zero-tolerance
+// request must decide the cheapest reproducible rung — BN, not PR —
+// and the hit must return that exact Decision. A loose request keeps
+// the plain fast path: cheapening the reproducible rung must never
+// steal selections ST already satisfies.
+func TestCacheHitMissPinNewRanks(t *testing.T) {
+	xs := gen.Spec{N: 1 << 14, Cond: 1e8, DynRange: 24, Seed: 46}.Generate()
+	p := ProfileOf(xs)
+	s := New(0)
+	s.Cache = NewDecisionCache(CacheConfig{})
+	miss := s.Decide(p)
+	hit := s.Decide(p)
+	if miss != hit {
+		t.Fatalf("hit decision differs from miss: %+v vs %+v", hit, miss)
+	}
+	if miss.Alg != sum.BinnedAlg {
+		t.Errorf("tol=0 decided %v, want BN (cheapest reproducible rung)", miss.Alg)
+	}
+	if st := s.Cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss", st)
+	}
+	loose := New(1e-6)
+	loose.Cache = NewDecisionCache(CacheConfig{})
+	easy := ProfileOf(gen.Spec{N: 4096, Cond: 1, DynRange: 4, Seed: 47}.Generate())
+	d1 := loose.Decide(easy)
+	d2 := loose.Decide(easy)
+	if d1 != d2 {
+		t.Fatalf("loose hit differs from miss: %+v vs %+v", d2, d1)
+	}
+	if d1.Alg.CostRank() > sum.BinnedAlg.CostRank() {
+		t.Errorf("easy cell escalated past BN: %v", d1.Alg)
+	}
+}
+
 // TestCacheOrderIndependence: decisions are pure functions of the
 // bucket, never "whichever profile arrived first" — two profiles
 // sharing a bucket get the same decision regardless of which one warmed

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/binned"
 	"repro/internal/fpu"
 	"repro/internal/parallel"
 	"repro/internal/sum"
@@ -63,6 +64,100 @@ func TestBinnedInvarianceAcrossTreesWorkersLanes(t *testing.T) {
 				got := math.Float64bits(parallel.Sum(sum.BinnedAlg, xs, cfg))
 				if got != want {
 					t.Fatalf("w=%d lanes=%d chunk=%d: %x != %x", workers, lanes, chunk, got, want)
+				}
+			}
+		}
+	}
+}
+
+// adversarialBinnedSets exercises every flush path of the two-level
+// deposit kernel: anchor churn (per-group window jumps), multi-window
+// mixes, zeros mid-run, denormals, and the scaled top windows around
+// the 2^-512 Finalize scaling boundary.
+func adversarialBinnedSets() map[string][]float64 {
+	rng := rand.New(rand.NewSource(23))
+	sets := map[string][]float64{}
+	churn := make([]float64, 801)
+	for i := range churn {
+		e := 0
+		if i%2 == 1 {
+			e = 300
+		}
+		churn[i] = (rng.Float64() - 0.5) * math.Ldexp(1, e)
+	}
+	sets["anchor-churn"] = churn
+	three := make([]float64, 900)
+	for i := range three {
+		three[i] = (rng.Float64() - 0.5) * math.Ldexp(1, (i%3)*64-64)
+	}
+	sets["three-windows"] = three
+	zeros := make([]float64, 700)
+	for i := range zeros {
+		switch i % 5 {
+		case 0:
+			zeros[i] = 0
+		case 1:
+			zeros[i] = math.Copysign(0, -1)
+		default:
+			zeros[i] = (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(40))
+		}
+	}
+	sets["zeros-mid-run"] = zeros
+	den := make([]float64, 600)
+	for i := range den {
+		den[i] = math.Ldexp(1+rng.Float64(), -1040-rng.Intn(30))
+		if i%2 == 1 {
+			den[i] = -den[i]
+		}
+	}
+	sets["denormal"] = den
+	top := make([]float64, 500)
+	for i := range top {
+		e := 980
+		if i%2 == 1 {
+			e = 900
+		}
+		top[i] = (rng.Float64() - 0.5) * math.Ldexp(1, e)
+	}
+	sets["scaled-top-straddle"] = top
+	return sets
+}
+
+// TestBinnedAdversarialFlushPathsAcrossEngines pins the two-level fast
+// path against the reference per-element deposit loop (the pre-PR-7
+// oracle) on data that forces every flush path, then drives the same
+// multisets through permutations, all five tree shapes, and the
+// parallel engine at several worker counts — all must reproduce the
+// oracle's Finalize bits exactly.
+func TestBinnedAdversarialFlushPathsAcrossEngines(t *testing.T) {
+	shapes := []tree.Shape{tree.Balanced, tree.Unbalanced, tree.Random, tree.Blocked, tree.Knomial}
+	rng := rand.New(rand.NewSource(24))
+	for name, xs := range adversarialBinnedSets() {
+		var ref binned.State
+		ref.AddSliceRef(xs)
+		want := math.Float64bits(ref.Finalize())
+		if got := math.Float64bits(sum.Binned(xs)); got != want {
+			t.Fatalf("%s: two-level %x != reference oracle %x", name, got, want)
+		}
+		for trial := 0; trial < 3; trial++ {
+			perm := rng.Perm(len(xs))
+			shuf := make([]float64, len(xs))
+			for i, p := range perm {
+				shuf[i] = xs[p]
+			}
+			if got := math.Float64bits(sum.Binned(shuf)); got != want {
+				t.Fatalf("%s perm %d: %x != %x", name, trial, got, want)
+			}
+			for _, shape := range shapes {
+				p := tree.NewPlan(shape, len(shuf), fpu.NewRNG(uint64(25+trial)+uint64(shape)))
+				if got := math.Float64bits(tree.Reduce(sum.BNMonoid{}, p, shuf)); got != want {
+					t.Fatalf("%s perm %d %v: %x != %x", name, trial, shape, got, want)
+				}
+			}
+			for _, workers := range []int{1, 2, 4, 7} {
+				cfg := parallel.Config{Workers: workers, ChunkSize: 128 + 100*trial}
+				if got := math.Float64bits(parallel.Sum(sum.BinnedAlg, shuf, cfg)); got != want {
+					t.Fatalf("%s perm %d w=%d: %x != %x", name, trial, workers, got, want)
 				}
 			}
 		}
@@ -125,11 +220,19 @@ func TestBinnedSelectionLadder(t *testing.T) {
 	if !last.Reproducible() {
 		t.Error("SelectionLadder must end in a reproducible rung")
 	}
-	// BN sits between Neumaier and CP on the cost ladder.
-	if !(sum.NeumaierAlg.CostRank() < sum.BinnedAlg.CostRank() &&
-		sum.BinnedAlg.CostRank() < sum.CompositeAlg.CostRank() &&
+	// BN sits directly after the plain loops on the cost ladder: the
+	// two-level kernel measures under 2x the ST floor and below the
+	// Kahan kernel, so the cheapest reproducible rung precedes every
+	// compensated one ("reproducible by default").
+	if !(sum.PairwiseAlg.CostRank() < sum.BinnedAlg.CostRank() &&
+		sum.BinnedAlg.CostRank() < sum.KahanAlg.CostRank() &&
+		sum.KahanAlg.CostRank() < sum.CompositeAlg.CostRank() &&
 		sum.CompositeAlg.CostRank() < sum.PreroundedAlg.CostRank()) {
-		t.Error("cost ladder order violated: want N < BN < CP < PR")
+		t.Error("cost ladder order violated: want PW < BN < K < CP < PR")
+	}
+	// The ladder's second rung is the reproducible one.
+	if sum.SelectionLadder[1] != sum.BinnedAlg {
+		t.Errorf("SelectionLadder[1] = %v, want BN", sum.SelectionLadder[1])
 	}
 }
 
