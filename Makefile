@@ -18,6 +18,11 @@ test:
 # ground truth (deterministic bounds never violated, probabilistic at
 # most at the stated rate) plus the selection-path audits: degenerate
 # profiles, cache bucket boundaries, and empty-shard merge identity.
+# The mpirt pass pins the collective layer at full scale (the race run
+# above already covers it at 256 ranks): all seven topologies bitwise
+# equal to single-rank BN under arrival-order jitter at 10^4 ranks,
+# MPICH-style non-power-of-two fold-in, O(ranks) inbox memory with
+# credit backpressure, and >=80% selection-table/model agreement.
 # The final step is the binned performance gate: a fresh measurement of
 # the two-level BN kernel against the non-reproducible ST kernel floor
 # at 1M elements, failed when BN drifts past 2.2x (the acceptance
@@ -25,12 +30,13 @@ test:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run 'CrossTopology|ExtremeScale|NonPowerOfTwo|Backpressure|InboxMemory|SelectionTable|DoubleTreeStructure|RSAGBitwise' ./internal/mpirt
 	$(GO) test -run 'Equivalence|Replay|Fused|Allocs|PlanSource|WorkerCounts' ./internal/tree ./internal/grid ./internal/metrics
 	$(GO) test -run 'Equivalence|Allocs|Lane|NonFinite|BatchDeposit' ./internal/kernel ./internal/parallel ./internal/selector
 	$(GO) test -run 'Fused|SpecSum|Cache|SelectAndSum|ProfileOp|Associativity|ArbitrarySplits|Clamp|Nearest|CSum' ./internal/selector ./internal/core
 	$(GO) test -run 'Binned|Merged|Invariance|Permutation|Specials|Ladder|Allocs' ./internal/binned ./internal/sum ./internal/kernel
 	$(GO) test -run 'BoundsDifferential|Probabilistic|Degenerate|Boundary|MergeEmpty|ChainHeight|Gamma' ./internal/selector ./internal/sum ./internal/kernel
-	$(GO) test -run 'BoundsExt' ./internal/experiments
+	$(GO) test -run 'BoundsExt|CollectivesExt' ./internal/experiments
 	$(GO) test ./internal/kernel -run '^$$' -bench 'BinnedVsAlternatives1M/(binned|stkernel)' -benchtime 0.3s \
 		| $(GO) run ./cmd/benchjson -ratio 'BenchmarkBinnedVsAlternatives1M/binned,BenchmarkBinnedVsAlternatives1M/stkernel' -max 2.2
 
@@ -44,7 +50,10 @@ bench:
 # reproducible engine's headline ratios (vs superacc, two-pass PR, and
 # the ST kernel floor), plus the bound-estimator costs (BENCH_bounds:
 # ComputeBounds per plan and per-policy decide cost with each pick's
-# cost rank) as machine-readable artifacts (compared across
+# cost rank) and the collective schedules (BENCH_mpirt: wall-clock per
+# topology at 16..10^4 simulated ranks with the closed-form model cost
+# reported alongside as the modelcost metric; -benchtime 1x because one
+# iteration is a full world run) as machine-readable artifacts (compared across
 # PRs, e.g. `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`,
 # or gated: `go run ./cmd/benchjson -compare -threshold 10 old new`).
 bench-json:
@@ -53,7 +62,8 @@ bench-json:
 	$(GO) test ./internal/selector -run '^$$' -bench 'SelectSum|Decide' -benchmem | $(GO) run ./cmd/benchjson > BENCH_selector.json
 	$(GO) test ./internal/kernel -run '^$$' -bench Binned -benchmem | $(GO) run ./cmd/benchjson > BENCH_binned.json
 	$(GO) test ./internal/selector -run '^$$' -bench Bounds -benchmem | $(GO) run ./cmd/benchjson > BENCH_bounds.json
-	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json BENCH_bounds.json
+	$(GO) test ./internal/mpirt -run '^$$' -bench Collective -benchtime 1x | $(GO) run ./cmd/benchjson > BENCH_mpirt.json
+	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json BENCH_bounds.json BENCH_mpirt.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

@@ -57,6 +57,7 @@ func main() {
 		{"ext-precision", func(c experiments.Config) experiments.Result { return experiments.PrecisionExt(c) }},
 		{"ext-bounds", func(c experiments.Config) experiments.Result { return experiments.BoundsExt(c) }},
 		{"ext-parallel", func(c experiments.Config) experiments.Result { return experiments.ParallelExt(c) }},
+		{"ext-collectives", func(c experiments.Config) experiments.Result { return experiments.CollectivesExt(c) }},
 	}
 
 	wanted := map[string]bool{}

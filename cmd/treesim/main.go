@@ -5,6 +5,13 @@
 // Usage:
 //
 //	treesim -n 8192 -k inf -dr 32 -shape unbalanced -trees 100
+//
+// With -collective the workload is instead distributed over an mpirt
+// world and reduced with a collective schedule under arrival-order
+// merging and jitter, one world per trial:
+//
+//	treesim -n 8192 -collective rabenseifner -ranks 256
+//	treesim -n 8192 -collective auto -ranks 1024   # selection table picks
 package main
 
 import (
@@ -12,12 +19,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/bigref"
 	"repro/internal/fpu"
 	"repro/internal/gen"
 	"repro/internal/grid"
 	"repro/internal/metrics"
+	"repro/internal/mpirt"
 	"repro/internal/sum"
 	"repro/internal/textplot"
 	"repro/internal/tree"
@@ -28,8 +37,11 @@ func main() {
 	kStr := flag.String("k", "inf", "target condition number (number or 'inf')")
 	dr := flag.Int("dr", 32, "binary dynamic range")
 	shapeStr := flag.String("shape", "balanced", "tree shape: balanced, unbalanced, random, blocked, knomial")
-	trees := flag.Int("trees", 100, "number of permuted trees")
+	trees := flag.Int("trees", 100, "number of permuted trees (or jittered worlds with -collective)")
 	seed := flag.Uint64("seed", 1, "seed")
+	collective := flag.String("collective", "",
+		"reduce over an mpirt collective instead of permuted trees: binomial, binary, chain, flat, rabenseifner, rsag, dtree, or auto (selection table)")
+	ranks := flag.Int("ranks", 64, "mpirt world size for -collective")
 	flag.Parse()
 
 	k := math.Inf(1)
@@ -60,6 +72,10 @@ func main() {
 	ref := bigref.SumFloat64(xs)
 	fmt.Printf("workload: n=%d measured k=%.3g dr=%d; exact sum %.17g\n",
 		*n, metrics.CondNumber(xs), metrics.DynRange(xs), ref)
+	if *collective != "" {
+		runCollective(*collective, *ranks, *trees, *seed, xs, ref)
+		return
+	}
 	fmt.Printf("reducing over %d %s trees with permuted leaf assignments\n\n", *trees, shape)
 
 	labels := make([]string, 0, len(sum.PaperAlgorithms))
@@ -79,6 +95,74 @@ func main() {
 		})
 	}
 	fmt.Print(textplot.Boxplot("error magnitude per tree", labels, stats, 60))
+	fmt.Println()
+	fmt.Print(textplot.Table([]string{"alg", "max err", "stddev", "distinct results"}, rows))
+}
+
+// runCollective distributes the workload over an mpirt world and
+// reduces it with the chosen collective schedule, one jittered
+// arrival-order world per trial, reporting each algorithm's spread the
+// same way the tree simulation does.
+func runCollective(name string, ranks, trials int, seed uint64, xs []float64, ref float64) {
+	var topo mpirt.Topology
+	if name == "auto" {
+		perRank := (len(xs) + ranks - 1) / ranks
+		topo = mpirt.SelectTopology(8*perRank, ranks)
+		fmt.Printf("selection table picked %v for %dB/rank over %d ranks\n", topo, 8*perRank, ranks)
+	} else {
+		t, err := mpirt.ParseTopology(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treesim:", err)
+			os.Exit(1)
+		}
+		topo = t
+	}
+	fmt.Printf("reducing over the %v collective: %d ranks, %d arrival-order worlds with jitter\n\n",
+		topo, ranks, trials)
+
+	algs := append(append([]sum.Algorithm(nil), sum.PaperAlgorithms...), sum.BinnedAlg)
+	per := (len(xs) + ranks - 1) / ranks
+	labels := make([]string, 0, len(algs))
+	stats := make([]metrics.Stats, 0, len(algs))
+	var rows [][]string
+	for _, alg := range algs {
+		op := alg.Op()
+		sums := make([]float64, 0, trials)
+		for trial := 0; trial < trials; trial++ {
+			w := mpirt.NewWorld(ranks, mpirt.Config{
+				Jitter: 100 * time.Microsecond,
+				Seed:   seed ^ uint64(alg)<<13 ^ uint64(trial)<<1,
+			})
+			var got float64
+			err := w.Run(func(r *mpirt.Rank) {
+				lo, hi := r.ID*per, (r.ID+1)*per
+				if lo > len(xs) {
+					lo = len(xs)
+				}
+				if hi > len(xs) {
+					hi = len(xs)
+				}
+				if v, ok := r.ReduceSum(0, xs[lo:hi], op, topo, mpirt.ArrivalOrder); ok {
+					got = v
+				}
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "treesim:", err)
+				os.Exit(1)
+			}
+			sums = append(sums, got)
+		}
+		st := metrics.ErrorStats(sums, ref)
+		labels = append(labels, alg.String())
+		stats = append(stats, st)
+		rows = append(rows, []string{
+			alg.String(),
+			fmt.Sprintf("%.3g", st.Max),
+			fmt.Sprintf("%.3g", st.StdDev),
+			fmt.Sprintf("%d", metrics.DistinctValues(sums)),
+		})
+	}
+	fmt.Print(textplot.Boxplot("error magnitude per world", labels, stats, 60))
 	fmt.Println()
 	fmt.Print(textplot.Table([]string{"alg", "max err", "stddev", "distinct results"}, rows))
 }

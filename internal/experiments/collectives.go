@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/mpirt"
+	"repro/internal/sum"
+	"repro/internal/textplot"
+)
+
+// CollectivesResult is an extension experiment (not a paper figure): it
+// exercises the runtime collective-algorithm selection the paper argues
+// an intelligent reduction layer must perform. The cost model's
+// selection table (oneCCL-style, keyed on log2 message size x log2
+// ranks) is rendered with its crossover boundaries, the bucketed table
+// is audited against the exact model on a grid, and the headline
+// reproducibility claim is pinned in simulation: every schedule —
+// binomial, binary, chain, flat, rabenseifner, reduce-scatter+allgather
+// and double binary tree — finalizes a BN payload to the same bits as a
+// single-rank summation, under arrival-order merging with jitter.
+type CollectivesResult struct {
+	Machine mpirt.Machine
+	Table   string
+	// Bands[i] lists, for Ranks[i] ranks, the contiguous message-size
+	// ranges the table assigns to each topology, in ascending size order.
+	Ranks []int
+	Bands [][]CrossoverBand
+	// Bucketed-table vs exact-model agreement over the audit grid.
+	GridCells int
+	GridAgree int
+	// Bitwise pin of the simulated schedules.
+	PinRanks, PinElems, PinTopos int
+	PinAgree                     bool
+}
+
+// CrossoverBand is one contiguous message-size range a selection table
+// maps to a single topology.
+type CrossoverBand struct {
+	Topo    string
+	LoBytes uint64
+	HiBytes uint64 // inclusive upper edge of the last bucket in the band
+}
+
+// CollectivesExt builds the default machine's selection table, extracts
+// its per-rank-count crossovers, audits bucketing against the exact
+// model, and runs the cross-topology bitwise pin in simulation.
+func CollectivesExt(cfg Config) CollectivesResult {
+	m := mpirt.DefaultMachine()
+	table := mpirt.NewSelectionTable(m)
+	res := CollectivesResult{
+		Machine: m,
+		Table:   table.String(),
+		Ranks:   []int{16, 256, 4096, 65536},
+	}
+	for _, ranks := range res.Ranks {
+		res.Bands = append(res.Bands, crossoverBands(table, ranks))
+	}
+
+	// Bucketed table vs exact model: the table quantizes both axes to
+	// powers of two, so off-bucket points may disagree with the exact
+	// model; count agreement over a mixed on/off-bucket grid.
+	for _, ranks := range []int{16, 100, 256, 4096, 10000} {
+		for _, msgBytes := range []int{512, 4096, 65536, 1 << 20, 8 << 20} {
+			res.GridCells++
+			if table.Pick(msgBytes, ranks) == m.BestTopology(ranks, msgBytes/8, mpirt.DefaultSegSize) {
+				res.GridAgree++
+			}
+		}
+	}
+
+	// Bitwise pin: every topology, arrival-order with jitter, against
+	// the single-rank BN reference.
+	ranks := cfg.pick(48, 512)
+	perRank := cfg.pick(6, 16)
+	res.PinRanks, res.PinElems = ranks, ranks*perRank
+	xs := make([]float64, res.PinElems)
+	rng := newPinRNG(cfg.Seed)
+	for i := range xs {
+		xs[i] = rng()
+	}
+	want := math.Float64bits(sum.Binned(xs))
+	op := sum.BinnedAlg.Op()
+	res.PinAgree = true
+	for _, topo := range mpirt.Topologies {
+		res.PinTopos++
+		w := mpirt.NewWorld(ranks, mpirt.Config{Jitter: 50 * time.Microsecond, Seed: cfg.Seed + uint64(topo)})
+		var got uint64
+		err := w.Run(func(r *mpirt.Rank) {
+			if v, ok := r.ReduceSum(0, xs[r.ID*perRank:(r.ID+1)*perRank], op, topo, mpirt.ArrivalOrder); ok {
+				got = math.Float64bits(v)
+			}
+		})
+		if err != nil || got != want {
+			res.PinAgree = false
+		}
+	}
+	return res
+}
+
+// newPinRNG is a tiny splitmix64-based generator producing a wide
+// dynamic range of signed summands, so the pin is not trivially exact
+// in float64.
+func newPinRNG(seed uint64) func() float64 {
+	s := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	return func() float64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		v := math.Ldexp(float64(z%(1<<52))/(1<<52)+0.5, int(z>>52%40)-20)
+		if z&(1<<60) != 0 {
+			v = -v
+		}
+		return v
+	}
+}
+
+// crossoverBands walks the table's message-size axis at a fixed rank
+// count and compresses consecutive equal picks into bands.
+func crossoverBands(t *mpirt.SelectionTable, ranks int) []CrossoverBand {
+	var bands []CrossoverBand
+	for lm := 3; lm <= 30; lm++ {
+		topo := t.Pick(1<<lm, ranks).String()
+		if len(bands) > 0 && bands[len(bands)-1].Topo == topo {
+			bands[len(bands)-1].HiBytes = 1 << lm
+			continue
+		}
+		bands = append(bands, CrossoverBand{Topo: topo, LoBytes: 1 << lm, HiBytes: 1 << lm})
+	}
+	return bands
+}
+
+// ID implements Result.
+func (CollectivesResult) ID() string { return "ext-collectives" }
+
+// String renders the selection table, the crossovers, and the pin.
+func (r CollectivesResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: runtime collective-algorithm selection (oneCCL-style size x ranks table)\n")
+	fmt.Fprintf(&b, "machine: %d cores/node, intra %.3g, inter %.3g, recv %.3g, merge %.3g, elem %.3g\n\n",
+		r.Machine.CoresPerNode, r.Machine.IntraLat, r.Machine.InterLat,
+		r.Machine.RecvCost, r.Machine.MergeCost, r.Machine.ElemCost)
+	b.WriteString(r.Table)
+	b.WriteByte('\n')
+	var rows [][]string
+	for i, ranks := range r.Ranks {
+		var parts []string
+		for _, band := range r.Bands[i] {
+			if band.LoBytes == band.HiBytes {
+				parts = append(parts, fmt.Sprintf("%s@%s", band.Topo, byteLabel(band.LoBytes)))
+			} else {
+				parts = append(parts, fmt.Sprintf("%s %s-%s", band.Topo,
+					byteLabel(band.LoBytes), byteLabel(band.HiBytes)))
+			}
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", ranks), strings.Join(parts, ", ")})
+	}
+	b.WriteString(textplot.Table([]string{"ranks", "selected algorithm by message size"}, rows))
+	fmt.Fprintf(&b, "bucketed table vs exact model: %d/%d grid cells agree\n", r.GridAgree, r.GridCells)
+	fmt.Fprintf(&b, "bitwise pin: %d topologies x arrival-order+jitter at %d ranks (%d elems) all equal single-rank BN bits: %v\n",
+		r.PinTopos, r.PinRanks, r.PinElems, r.PinAgree)
+	return b.String()
+}
+
+func byteLabel(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%dGB", v>>30)
+	case v >= 1<<20:
+		return fmt.Sprintf("%dMB", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dKB", v>>10)
+	}
+	return fmt.Sprintf("%dB", v)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCollectivesExtClaims pins the experiment's headline claims at
+// Quick scale: the bitwise pin holds over every topology, the bucketed
+// selection table agrees with the exact model on at least 80% of the
+// audit grid, and the crossovers move from latency-bound to
+// bandwidth-bound schedules as messages grow.
+func TestCollectivesExtClaims(t *testing.T) {
+	res := CollectivesExt(quick)
+	if !res.PinAgree {
+		t.Error("cross-topology bitwise pin failed: some schedule diverged from single-rank BN bits")
+	}
+	if res.PinTopos != 7 {
+		t.Errorf("pin covered %d topologies, want 7", res.PinTopos)
+	}
+	if agree := float64(res.GridAgree) / float64(res.GridCells); agree < 0.8 {
+		t.Errorf("table/model agreement %.0f%% below 80%% (%d/%d)",
+			agree*100, res.GridAgree, res.GridCells)
+	}
+	for i, ranks := range res.Ranks {
+		bands := res.Bands[i]
+		if len(bands) == 0 {
+			t.Fatalf("ranks=%d: no crossover bands", ranks)
+		}
+		// Small messages must pick a latency-bound schedule, large ones a
+		// bandwidth-bound one, at every multi-node rank count.
+		if ranks >= 256 {
+			if first := bands[0].Topo; first != "binomial" && first != "binary" && first != "flat" {
+				t.Errorf("ranks=%d: smallest messages select %s, want a latency-bound tree", ranks, first)
+			}
+			last := bands[len(bands)-1].Topo
+			if last != "rabenseifner" && last != "dtree" && last != "chain" {
+				t.Errorf("ranks=%d: largest messages select %s, want a bandwidth-bound schedule", ranks, last)
+			}
+		}
+	}
+	if res.ID() != "ext-collectives" {
+		t.Errorf("ID = %q", res.ID())
+	}
+	s := res.String()
+	for _, want := range []string{"msg\\ranks", "bitwise pin", "grid cells agree"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

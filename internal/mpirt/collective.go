@@ -1,0 +1,232 @@
+package mpirt
+
+import (
+	"math/bits"
+
+	"repro/internal/reduce"
+)
+
+// Bandwidth-optimal collectives: Rabenseifner reduce (recursive-halving
+// reduce-scatter + binomial gather) and the reduce-scatter + allgather
+// allreduce (recursive halving then recursive doubling). Both operate
+// on a vector of per-element reduction states; each rank ends up
+// combining O(m) elements instead of the O(m log n) a full-vector tree
+// schedule moves through every interior rank, which is why production
+// MPI layers select them for large payloads (MPICH's
+// MPIR_Reduce_intra_reduce_scatter_gather, oneCCL's rabenseifner).
+//
+// Both schedules pair each rank with exactly one partner per round, so
+// the merge order is fixed by the schedule itself: the result is
+// deterministic for every operator in either Mode, and — because
+// partial states aggregate rank groups in ascending-group order — an
+// exactly-mergeable operator (BN) finalizes to the same bits as every
+// tree topology.
+//
+// Non-power-of-two worlds use the standard MPICH fold-in: with
+// rem = size - pof2, each even rank below 2*rem sends its whole state
+// vector to the odd rank above it and drops out of the power-of-two
+// phase; the odd rank absorbs it (lower-rank operand first) and
+// proceeds with newrank = rank/2. Surviving ranks at or above 2*rem
+// get newrank = rank - rem. After the allgather phase the surviving
+// odd ranks send the finished vector back to their dropped partners.
+
+// pof2Below returns the largest power of two <= n.
+func pof2Below(n int) int {
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
+// foldRoles describes a rank's place in the power-of-two core group.
+type foldRoles struct {
+	pof2, rem int
+	newrank   int // -1 for ranks folded out of the core group
+}
+
+func foldInfo(rank, size int) foldRoles {
+	pof2 := pof2Below(size)
+	rem := size - pof2
+	f := foldRoles{pof2: pof2, rem: rem}
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		f.newrank = -1
+	case rank < 2*rem:
+		f.newrank = rank / 2
+	default:
+		f.newrank = rank - rem
+	}
+	return f
+}
+
+// oldRank maps a core-group newrank back to the world rank that holds
+// it.
+func (f foldRoles) oldRank(newrank int) int {
+	if newrank < f.rem {
+		return 2*newrank + 1
+	}
+	return newrank + f.rem
+}
+
+// chunkMsg carries a contiguous range of reduced element states with
+// its vector offset, for the gather and allgather phases.
+type chunkMsg struct {
+	lo     int
+	states []reduce.State
+}
+
+// rabenseifner runs the reduce-scatter core and then either a binomial
+// gather of the chunks to root (allgather=false: Rabenseifner reduce)
+// or a recursive-doubling allgather plus post-fold (allgather=true:
+// reduce-scatter + allgather allreduce). It returns the full reduced
+// state vector and whether this rank holds it: only the root for the
+// gather form, every rank for the allgather form.
+//
+// The states slice is consumed: ranges sent away must not be reused by
+// the caller.
+func (r *Rank) rabenseifner(root int, states []reduce.State, op reduce.Op, allgather bool) ([]reduce.State, bool) {
+	// Fixed per-collective tag budget so every rank's tag sequence
+	// stays aligned regardless of its role in this schedule.
+	tFold := r.nextCollTag()
+	tRS := r.nextCollTag()
+	tGath := r.nextCollTag()
+	tPost := r.nextCollTag()
+
+	n := r.Size
+	nElem := len(states)
+	f := foldInfo(r.ID, n)
+	L := bits.Len(uint(f.pof2)) - 1 // log2(pof2) rounds
+
+	// Pre-fold: fold the excess ranks into their odd neighbors.
+	if r.ID < 2*f.rem {
+		if f.newrank < 0 {
+			r.send(r.ID+1, tFold, states)
+			if !allgather {
+				// Dropped ranks take no further part in a rooted
+				// reduce unless they are the root, which receives the
+				// finished vector from its surrogate below.
+				if r.ID == root {
+					return r.Recv(root+1, tPost).([]reduce.State), true
+				}
+				return nil, false
+			}
+			// Allreduce: wait for the finished vector from the partner.
+			full := r.Recv(r.ID+1, tPost).([]reduce.State)
+			return full, allgather || r.ID == root
+		}
+		partner := r.Recv(r.ID-1, tFold).([]reduce.State)
+		for i := range states {
+			// Lower-rank operand first: canonical ascending-group order.
+			states[i] = op.Merge(partner[i], states[i])
+		}
+	}
+
+	// Reduce-scatter by recursive halving over the core group. Both
+	// partners derive the same [lo,hi) range split from their shared
+	// newrank prefix, so no range metadata needs to travel.
+	lo, hi := 0, nElem
+	for k := 0; k < L; k++ {
+		halfBit := f.pof2 >> (k + 1)
+		partnerNew := f.newrank ^ halfBit
+		partnerOld := f.oldRank(partnerNew)
+		mid := lo + (hi-lo)/2
+		var keepLo, keepHi, giveLo, giveHi int
+		if f.newrank&halfBit == 0 {
+			keepLo, keepHi, giveLo, giveHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, giveLo, giveHi = mid, hi, lo, mid
+		}
+		r.send(partnerOld, tRS, states[giveLo:giveHi])
+		theirs := r.Recv(partnerOld, tRS).([]reduce.State)
+		for i := range theirs {
+			// The group with the lower newranks is the earlier operand.
+			if f.newrank&halfBit == 0 {
+				states[keepLo+i] = op.Merge(states[keepLo+i], theirs[i])
+			} else {
+				states[keepLo+i] = op.Merge(theirs[i], states[keepLo+i])
+			}
+		}
+		lo, hi = keepLo, keepHi
+	}
+
+	if !allgather {
+		return r.rabenseifnerGather(root, states, lo, hi, nElem, f, tGath, tPost)
+	}
+
+	// Allgather by recursive doubling: undo the halving, exchanging
+	// owned ranges with the same partners in reverse round order.
+	for k := L - 1; k >= 0; k-- {
+		halfBit := f.pof2 >> (k + 1)
+		partnerOld := f.oldRank(f.newrank ^ halfBit)
+		r.send(partnerOld, tGath, chunkMsg{lo: lo, states: states[lo:hi]})
+		got := r.Recv(partnerOld, tGath).(chunkMsg)
+		copy(states[got.lo:got.lo+len(got.states)], got.states)
+		// Sibling ranges partition their parent range, so the union is
+		// exactly the parent — take min/max independently (an empty
+		// sibling still marks a correct boundary point).
+		if got.lo < lo {
+			lo = got.lo
+		}
+		if end := got.lo + len(got.states); end > hi {
+			hi = end
+		}
+	}
+	// Post-fold: hand the finished vector back to the dropped ranks.
+	if r.ID < 2*f.rem && f.newrank >= 0 {
+		r.send(r.ID-1, tPost, states)
+	}
+	return states, true
+}
+
+// rabenseifnerGather performs the binomial gather of scattered chunks
+// to the root (or its surrogate when the root was folded out), then
+// ships the assembled vector to the root if needed.
+func (r *Rank) rabenseifnerGather(root int, states []reduce.State,
+	lo, hi, nElem int, f foldRoles, tGath, tPost int) ([]reduce.State, bool) {
+	// The gather target inside the core group: the root itself, or —
+	// when the root is a folded-out even rank — the odd neighbor that
+	// absorbed it.
+	surrogate := root
+	if sf := foldInfo(root, r.Size); sf.newrank < 0 {
+		surrogate = root + 1
+	}
+	rootNew := foldInfo(surrogate, r.Size).newrank
+
+	// Binomial gather over core-group vertices. Chunks are disjoint
+	// element ranges, so no merging happens here — only placement.
+	v := (f.newrank - rootNew + f.pof2) % f.pof2
+	owned := []chunkMsg{}
+	if hi > lo {
+		owned = append(owned, chunkMsg{lo: lo, states: states[lo:hi]})
+	}
+	var parentV int
+	var nChildren int
+	if v == 0 {
+		parentV = -1
+		for b := 1; b < f.pof2; b <<= 1 {
+			nChildren++
+		}
+	} else {
+		lsb := v & -v
+		parentV = v - lsb
+		for b := 1; b < lsb; b <<= 1 {
+			if v+b < f.pof2 {
+				nChildren++
+			}
+		}
+	}
+	for i := 0; i < nChildren; i++ {
+		_, p := r.RecvAny(tGath)
+		owned = append(owned, p.([]chunkMsg)...)
+	}
+	if parentV >= 0 {
+		r.send(f.oldRank((parentV+rootNew)%f.pof2), tGath, owned)
+		return nil, false
+	}
+	// v == 0: this rank is the gather target; assemble the full vector.
+	for _, c := range owned {
+		copy(states[c.lo:c.lo+len(c.states)], c.states)
+	}
+	if surrogate != root {
+		r.send(root, tPost, states)
+		return nil, false
+	}
+	return states, true
+}

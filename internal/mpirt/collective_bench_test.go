@@ -1,0 +1,59 @@
+package mpirt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sum"
+)
+
+// BenchmarkCollective runs one full scalar BN reduction per iteration
+// for every topology at the rank scales the selection table targets,
+// and reports the closed-form model cost alongside (modelcost, in
+// machine cost units) so BENCH_mpirt.json carries the wall-clock and
+// the modeled cost side by side — the artifact the selection-table
+// agreement gate is reviewed against.
+func BenchmarkCollective(b *testing.B) {
+	op := sum.BinnedAlg.Op()
+	m := DefaultMachine()
+	for _, ranks := range []int{16, 256, 4096, 10000} {
+		xs := makeData(ranks, uint64(ranks))
+		for _, topo := range Topologies {
+			b.Run(fmt.Sprintf("topo=%s/ranks=%d", topo, ranks), func(b *testing.B) {
+				b.ReportMetric(m.CollectiveTime(topo, ranks, 1, DefaultSegSize, nil), "modelcost")
+				for i := 0; i < b.N; i++ {
+					w := NewWorld(ranks, Config{})
+					if err := w.Run(func(r *Rank) {
+						r.ReduceSum(0, xs[r.ID:r.ID+1], op, topo, ArrivalOrder)
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCollectiveVector reduces a segmented BN state vector, where
+// the bandwidth-optimal schedules earn their keep: the model cost is
+// evaluated at the real element count so the crossovers in
+// BENCH_mpirt.json can be compared against measured wall-clock.
+func BenchmarkCollectiveVector(b *testing.B) {
+	const ranks, nElem = 64, 512
+	op := sum.BinnedAlg.Op()
+	xs := makeData(ranks*nElem, 7)
+	m := DefaultMachine()
+	for _, topo := range Topologies {
+		b.Run(fmt.Sprintf("topo=%s/ranks=%d/elems=%d", topo, ranks, nElem), func(b *testing.B) {
+			b.ReportMetric(m.CollectiveTime(topo, ranks, nElem, DefaultSegSize, nil), "modelcost")
+			for i := 0; i < b.N; i++ {
+				w := NewWorld(ranks, Config{})
+				if err := w.Run(func(r *Rank) {
+					r.VectorReduce(0, xs[r.ID*nElem:(r.ID+1)*nElem], op, topo, ArrivalOrder, DefaultSegSize)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ package mpirt
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -46,7 +47,10 @@ func (m Mode) String() string {
 	return "fixed-order"
 }
 
-// Topology selects the reduction tree used by collectives.
+// Topology selects the reduction schedule used by collectives. The
+// first four are single rooted trees; the last three are the
+// bandwidth-optimal schedules a production MPI/CCL layer selects for
+// large payloads (oneCCL: direct / rabenseifner / tree / double_tree).
 type Topology uint8
 
 const (
@@ -58,10 +62,25 @@ const (
 	Chain
 	// Flat has every non-root rank send directly to the root.
 	Flat
+	// Rabenseifner reduces by recursive-halving reduce-scatter followed
+	// by a binomial gather of the scattered chunks to the root: each
+	// rank moves O(m) elements instead of the tree schedules' O(m log n).
+	Rabenseifner
+	// RSAllgather is the reduce-scatter + allgather allreduce
+	// (recursive halving then recursive doubling); every rank ends with
+	// the full result, the root returns it.
+	RSAllgather
+	// DoubleTree reduces even segments up one inorder binary tree and
+	// odd segments up its complement; every rank is interior in at most
+	// one tree, halving the per-link load of a single binary tree.
+	DoubleTree
 )
 
 // Topologies lists every topology.
-var Topologies = []Topology{Binomial, BinaryTree, Chain, Flat}
+var Topologies = []Topology{Binomial, BinaryTree, Chain, Flat, Rabenseifner, RSAllgather, DoubleTree}
+
+// treeTopologies are the single-rooted-tree schedules family() covers.
+var treeTopologies = []Topology{Binomial, BinaryTree, Chain, Flat}
 
 // String names the topology.
 func (t Topology) String() string {
@@ -74,8 +93,34 @@ func (t Topology) String() string {
 		return "chain"
 	case Flat:
 		return "flat"
+	case Rabenseifner:
+		return "rabenseifner"
+	case RSAllgather:
+		return "rsag"
+	case DoubleTree:
+		return "dtree"
 	}
 	return fmt.Sprintf("Topology(%d)", uint8(t))
+}
+
+// ParseTopology maps a name produced by String back to its Topology.
+func ParseTopology(s string) (Topology, error) {
+	for _, t := range Topologies {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("mpirt: unknown topology %q", s)
+}
+
+// isTree reports whether the topology is a single rooted tree handled
+// by family().
+func (t Topology) isTree() bool {
+	switch t {
+	case Binomial, BinaryTree, Chain, Flat:
+		return true
+	}
+	return false
 }
 
 // Config tunes a World.
@@ -101,14 +146,28 @@ type envelope struct {
 	payload any
 }
 
-// NewWorld creates a communicator with size ranks.
+// inboxCap is the per-rank inbox credit: how many envelopes a rank can
+// have in flight toward one receiver before further senders block. A
+// bounded inbox is what keeps world memory O(size): the previous
+// 8*size+64 capacity allocated O(size^2) envelope slots across the
+// world, which is ~26 GB of channel buffers at 10^4 ranks before a
+// single message is sent. Senders to a full inbox park on the channel
+// (credit-based backpressure); every collective here eventually drains
+// its inbox, so bounded credit throttles pipelines without deadlock —
+// no schedule sends more than a handful of messages to one peer before
+// that peer receives.
+const inboxCap = 16
+
+// NewWorld creates a communicator with size ranks. Inboxes are bounded
+// (see inboxCap), so the world costs O(size) memory: a send to a
+// saturated rank blocks until the receiver drains credit.
 func NewWorld(size int, cfg Config) *World {
 	if size < 1 {
 		panic("mpirt: world size must be >= 1")
 	}
 	w := &World{size: size, cfg: cfg, inboxes: make([]chan envelope, size)}
 	for i := range w.inboxes {
-		w.inboxes[i] = make(chan envelope, 8*size+64)
+		w.inboxes[i] = make(chan envelope, inboxCap)
 	}
 	return w
 }
@@ -176,9 +235,26 @@ func (r *Rank) send(dst, tag int, payload any) {
 		panic(fmt.Sprintf("mpirt: send to invalid rank %d", dst))
 	}
 	if j := r.w.cfg.Jitter; j > 0 {
-		time.Sleep(time.Duration(r.rng.Float64() * float64(j)))
+		jitterDelay(time.Duration(r.rng.Float64() * float64(j)))
 	}
 	r.w.inboxes[dst] <- envelope{src: r.ID, tag: tag, payload: payload}
+}
+
+// jitterDelay delays the caller for d. Short delays yield-spin instead
+// of sleeping: timer granularity on a loaded host rounds a microsecond
+// time.Sleep up to ~1ms, which would serialize pipelined schedules (a
+// 10^4-hop chain becomes 10^4 timer ticks ≈ 10 s of wall clock).
+// Yielding the goroutine until the deadline still perturbs scheduling
+// order, which is all jitter exists to do.
+func jitterDelay(d time.Duration) {
+	if d >= 200*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -352,11 +428,23 @@ func (r *Rank) Scatter(root int, items []any) any {
 	return r.Recv(root, tag)
 }
 
-// Reduce combines each rank's local partial state up a reduction tree
-// and returns the final state at root (nil elsewhere). In FixedOrder
-// mode every parent waits for all children and merges them in ascending
-// rank order; in ArrivalOrder mode it merges them as they arrive.
+// Reduce combines each rank's local partial state up a reduction
+// schedule and returns the final state at root (nil elsewhere). For
+// tree topologies in FixedOrder mode every parent waits for all
+// children and merges them in ascending rank order; in ArrivalOrder
+// mode it merges them as they arrive. The schedule topologies
+// (Rabenseifner, RSAllgather, DoubleTree) treat the state as a
+// one-element vector: their merge order is fixed by the schedule, so
+// they are deterministic in either mode (and bitwise identical to the
+// trees for exactly-mergeable operators such as BN).
 func (r *Rank) Reduce(root int, local reduce.State, op reduce.Op, topo Topology, mode Mode) reduce.State {
+	if !topo.isTree() {
+		states, ok := r.reduceStates(root, []reduce.State{local}, op, topo, mode, 1)
+		if !ok {
+			return nil
+		}
+		return states[0]
+	}
 	tag := r.nextCollTag()
 	parent, children := r.family(topo, root)
 	state := local

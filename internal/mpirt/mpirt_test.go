@@ -280,7 +280,9 @@ func TestFixedOrderDeterministic(t *testing.T) {
 func TestFamilyStructure(t *testing.T) {
 	// Every rank except the root must have exactly one parent, and the
 	// union of children lists must cover all non-root ranks exactly once.
-	for _, topo := range Topologies {
+	// Only the single-tree topologies have a family(); the schedule
+	// topologies are validated structurally in collective_test.go.
+	for _, topo := range treeTopologies {
 		for _, n := range []int{1, 2, 3, 8, 13, 16} {
 			for _, root := range []int{0, 1, n - 1} {
 				if root < 0 || root >= n {

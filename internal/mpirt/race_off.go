@@ -1,0 +1,6 @@
+//go:build !race
+
+package mpirt
+
+// raceEnabled gates test sizing: see race_on.go.
+const raceEnabled = false

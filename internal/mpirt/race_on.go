@@ -1,0 +1,9 @@
+//go:build race
+
+package mpirt
+
+// raceEnabled gates test sizing: the extreme-scale (10^4-rank) pins
+// run only outside the race detector, whose per-goroutine overhead
+// makes them impractically slow; race runs exercise the same protocols
+// at 256 ranks.
+const raceEnabled = true

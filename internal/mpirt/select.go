@@ -1,0 +1,278 @@
+package mpirt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync"
+)
+
+// Topology selection in the oneCCL style: a table keyed on
+// (log2 message size, log2 rank count) whose cells hold the collective
+// algorithm the cost model ranks fastest for that regime, evaluated
+// once per machine (oneCCL's ccl_algorithm_selector inserts per-size
+// algorithm ranges per transport; cuMat hardcodes measured piecewise
+// boundaries in the same log-log space). Lookups are two bit-scans and
+// an array index, so per-call selection is effectively free.
+//
+// The underlying model is the classic α-β-γ collective cost
+// decomposition: completion ≈ span·(α + o) + β·(bytes per link) +
+// γ·(merges per rank), with α the link latency, o the serialized
+// receive overhead, β the per-element bandwidth cost, and γ the
+// per-element merge cost — see Machine.CollectiveTime. Its crossovers
+// reproduce the textbook selection rules: flat for a handful of ranks,
+// binomial for small messages (latency-bound: log n span, full-vector
+// links), pipelined chain / double tree for large messages at modest
+// rank counts (bandwidth-bound: per-link load m or m/2), and
+// rabenseifner for large messages at scale (per-link load
+// 2m·(pof2-1)/pof2 with only 2 log n rounds).
+
+// CollectiveTime models the completion time of reducing an
+// elems-element vector over n ranks with the given topology and
+// pipeline segment size, on this machine with the placement's
+// inter-node link fraction folded into an effective latency. It is a
+// closed-form α·span + β·bytes-per-link + γ·merges model, not a
+// simulation — CompletionTime remains the exact critical-path
+// evaluator for explicit trees.
+func (m Machine) CollectiveTime(topo Topology, n, elems, segSize int, p Placement) float64 {
+	if n <= 1 {
+		return 0
+	}
+	alpha := m.effLatency(n, p)
+	o := m.RecvCost
+	beta := m.ElemCost
+	gamma := m.MergeCost
+	mf := float64(elems)
+	// c(e): cost of receiving and absorbing an e-element message.
+	c := func(e float64) float64 { return o + e*(beta+gamma) }
+	L := float64(bits.Len(uint(n - 1))) // ceil(log2 n)
+	numSegs, segSize := segmentPlan(elems, segSize)
+	S := float64(numSegs)
+	s := float64(segSize)
+	pof2 := float64(pof2Below(n))
+	foldin := 0.0
+	if int(pof2) != n {
+		foldin = alpha + c(mf)
+	}
+	switch topo {
+	case Flat:
+		return alpha + float64(n-1)*c(mf)
+	case Binomial:
+		return L * (alpha + c(mf))
+	case BinaryTree:
+		// Depth of the complete binary tree; two child messages
+		// serialize at each interior node.
+		d := float64(bits.Len(uint(n))) - 1
+		if d < 1 {
+			d = 1
+		}
+		return d * (alpha + 2*c(mf))
+	case Chain:
+		// Pipelined store-and-forward: n-1 hops plus S-1 drain steps.
+		return (float64(n-1) + S - 1) * (alpha + c(s))
+	case Rabenseifner:
+		// Reduce-scatter: log n rounds moving m/2, m/4, ... elements
+		// (Σ = m·(pof2-1)/pof2), then a binomial gather of the same
+		// total volume (no merges on the way up).
+		vol := mf * (pof2 - 1) / pof2
+		return foldin + 2*L*(alpha+o) + vol*(2*beta+gamma)
+	case RSAllgather:
+		// Same reduce-scatter, then a recursive-doubling allgather and
+		// the post-fold hop handing results back to folded-out ranks.
+		vol := mf * (pof2 - 1) / pof2
+		t := foldin + 2*L*(alpha+o) + vol*(2*beta+gamma)
+		if int(pof2) != n {
+			t += alpha + o + mf*beta
+		}
+		return t
+	case DoubleTree:
+		// Each tree pipelines half the segments at half the per-link
+		// load; interior nodes serialize two child messages per
+		// segment.
+		d := float64(bits.Len(uint(n))) - 1
+		if d < 1 {
+			d = 1
+		}
+		segsPerTree := math.Ceil(S / 2)
+		return d*(alpha+2*c(s)) + (segsPerTree-1)*2*c(s)
+	}
+	panic("mpirt: invalid topology " + topo.String())
+}
+
+// effLatency returns the expected per-hop latency: the placement's
+// inter-node link fraction (or the uniform-random expectation when p
+// is nil) blending IntraLat and InterLat.
+func (m Machine) effLatency(n int, p Placement) float64 {
+	f := m.interFraction(n, p)
+	return m.IntraLat*(1-f) + m.InterLat*f
+}
+
+// interFraction estimates the probability that a link between two
+// distinct ranks crosses a node boundary.
+func (m Machine) interFraction(n int, p Placement) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if p != nil {
+		// Exact pair-counting over the placement.
+		counts := map[int]int{}
+		for _, node := range p {
+			counts[node]++
+		}
+		same := 0
+		for _, c := range counts {
+			same += c * (c - 1)
+		}
+		return 1 - float64(same)/float64(n*(n-1))
+	}
+	if m.CoresPerNode <= 0 {
+		return 1
+	}
+	nodes := (n + m.CoresPerNode - 1) / m.CoresPerNode
+	if nodes <= 1 {
+		return 0
+	}
+	f := 1 - float64(m.CoresPerNode-1)/float64(n-1)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// CanUse reports whether the topology's schedule is usable for an
+// elems-element reduction over n ranks — oneCCL's can_use guard:
+// rabenseifner-style scatter needs at least one element per core-group
+// rank (param.count < pof2 falls back to a tree there).
+func (t Topology) CanUse(n, elems int) bool {
+	switch t {
+	case Rabenseifner, RSAllgather:
+		return n == 1 || elems >= pof2Below(n)
+	}
+	return true
+}
+
+// selTableMaxLogMsg and selTableMaxLogRanks bound the selection table:
+// message sizes up to 2^30 bytes and rank counts up to 2^20.
+const (
+	selTableMaxLogMsg   = 30
+	selTableMaxLogRanks = 20
+)
+
+// SelectionTable maps (log2 message bytes, log2 ranks) buckets to the
+// model-fastest topology on a machine.
+type SelectionTable struct {
+	m       Machine
+	segSize int
+	cells   [selTableMaxLogMsg + 1][selTableMaxLogRanks + 1]Topology
+}
+
+// DefaultSegSize is the pipeline segment size (in elements) the
+// selection table assumes for the segmented schedules.
+const DefaultSegSize = 256
+
+// NewSelectionTable evaluates the machine's cost model at every bucket
+// representative and records the fastest usable topology per cell.
+func NewSelectionTable(m Machine) *SelectionTable {
+	t := &SelectionTable{m: m, segSize: DefaultSegSize}
+	for lm := 0; lm <= selTableMaxLogMsg; lm++ {
+		// Bucket representative: the low edge, so exact powers of two —
+		// the sizes callers overwhelmingly use — evaluate exactly.
+		elems := int(uint64(1) << lm / 8)
+		if elems < 1 {
+			elems = 1
+		}
+		for lr := 0; lr <= selTableMaxLogRanks; lr++ {
+			t.cells[lm][lr] = m.BestTopology(1<<lr, elems, t.segSize)
+		}
+	}
+	return t
+}
+
+// BestTopology returns the usable topology with the lowest modeled
+// completion time (ties break toward the lower-numbered, simpler
+// schedule) — the exact-model answer the bucketed table approximates.
+func (m Machine) BestTopology(ranks, elems, segSize int) Topology {
+	best := Binomial
+	bestT := math.Inf(1)
+	for _, topo := range Topologies {
+		if !topo.CanUse(ranks, elems) {
+			continue
+		}
+		if ct := m.CollectiveTime(topo, ranks, elems, segSize, nil); ct < bestT {
+			best, bestT = topo, ct
+		}
+	}
+	return best
+}
+
+// Pick returns the table's topology for a message of msgBytes reduced
+// over ranks ranks.
+func (t *SelectionTable) Pick(msgBytes, ranks int) Topology {
+	lm := logBucket(msgBytes, selTableMaxLogMsg)
+	lr := logBucket(ranks, selTableMaxLogRanks)
+	topo := t.cells[lm][lr]
+	// Bucket representatives can straddle a can_use boundary: re-guard
+	// at the exact point and fall back like oneCCL's fallback_table.
+	if !topo.CanUse(ranks, msgBytes/8) {
+		return Binomial
+	}
+	return topo
+}
+
+func logBucket(v, max int) int {
+	if v < 1 {
+		v = 1
+	}
+	l := bits.Len(uint(v)) - 1
+	if l > max {
+		l = max
+	}
+	return l
+}
+
+// String renders the table as a (message size × ranks) grid of
+// topology names, for reports.
+func (t *SelectionTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "msg\\ranks")
+	cols := []int{0, 2, 4, 6, 8, 10, 12, 14, 16}
+	for _, lr := range cols {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("2^%d", lr))
+	}
+	b.WriteByte('\n')
+	for lm := 3; lm <= selTableMaxLogMsg; lm += 3 {
+		fmt.Fprintf(&b, "%-8s", byteSize(uint64(1)<<lm))
+		for _, lr := range cols {
+			fmt.Fprintf(&b, " %8s", t.cells[lm][lr])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func byteSize(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%dGB", v>>30)
+	case v >= 1<<20:
+		return fmt.Sprintf("%dMB", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dKB", v>>10)
+	}
+	return fmt.Sprintf("%dB", v)
+}
+
+var (
+	defaultTableOnce sync.Once
+	defaultTable     *SelectionTable
+)
+
+// SelectTopology picks the collective algorithm for a msgBytes-sized
+// reduction over ranks ranks from the default machine's selection
+// table — the mpirt analogue of an intelligent runtime choosing a
+// reduction plan per call.
+func SelectTopology(msgBytes, ranks int) Topology {
+	defaultTableOnce.Do(func() { defaultTable = NewSelectionTable(DefaultMachine()) })
+	return defaultTable.Pick(msgBytes, ranks)
+}

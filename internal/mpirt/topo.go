@@ -37,13 +37,18 @@ type Machine struct {
 	// RecvCost is the per-message receive overhead serialized at the
 	// receiver (LogP's "o"); MergeCost is the per-merge compute cost.
 	IntraLat, InterLat, RecvCost, MergeCost float64
+	// ElemCost is the per-element transfer (bandwidth) cost of a
+	// message — the β term of the α·span + β·bytes collective model
+	// (see CollectiveTime). Zero means latency-only modeling.
+	ElemCost float64
 }
 
 // DefaultMachine mirrors a commodity cluster: ~20x latency gap between
 // shared-memory and network links, receive overhead comparable to an
-// intra-node hop.
+// intra-node hop, and a per-element bandwidth cost that makes a
+// ~1000-element message cost about as much as a network latency.
 func DefaultMachine() Machine {
-	return Machine{CoresPerNode: 16, IntraLat: 1, InterLat: 20, RecvCost: 1, MergeCost: 0.1}
+	return Machine{CoresPerNode: 16, IntraLat: 1, InterLat: 20, RecvCost: 1, MergeCost: 0.1, ElemCost: 0.02}
 }
 
 // Placement maps each rank to a node.
