@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-json artifacts clean
+.PHONY: build test verify bench bench-json artifacts calibrate-quick clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,9 @@ test:
 # the two-level BN kernel against the non-reproducible ST kernel floor
 # at 1M elements, failed when BN drifts past 2.2x (the acceptance
 # envelope around the <=2x target, see BENCH_binned.json).
+# calibrate-quick is the closed-loop smoke pass at the end: a
+# seconds-scale host calibration written, drift-checked against fresh
+# probes (bitwise for accuracy), and removed.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -39,6 +42,18 @@ verify:
 	$(GO) test -run 'BoundsExt|CollectivesExt' ./internal/experiments
 	$(GO) test ./internal/kernel -run '^$$' -bench 'BinnedVsAlternatives1M/(binned|stkernel)' -benchtime 0.3s \
 		| $(GO) run ./cmd/benchjson -ratio 'BenchmarkBinnedVsAlternatives1M/binned,BenchmarkBinnedVsAlternatives1M/stkernel' -max 2.2
+	$(MAKE) calibrate-quick
+
+# calibrate-quick runs the self-calibration loop end to end in seconds:
+# a small-envelope host sweep (cmd/calibrate -quick), an immediate
+# drift check of the written artifact (accuracy probes re-derive their
+# cell seeds and must match bitwise; cost probes get the default 4x
+# noise allowance), then cleanup. A full calibration for production use
+# is `go run ./cmd/calibrate -out host.reprocal`.
+calibrate-quick:
+	$(GO) run ./cmd/calibrate -quick -out .calibrate-quick.reprocal
+	$(GO) run ./cmd/calibrate -check .calibrate-quick.reprocal
+	rm -f .calibrate-quick.reprocal
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -53,7 +68,11 @@ bench:
 # cost rank) and the collective schedules (BENCH_mpirt: wall-clock per
 # topology at 16..10^4 simulated ranks with the closed-form model cost
 # reported alongside as the modelcost metric; -benchtime 1x because one
-# iteration is a full world run) as machine-readable artifacts (compared across
+# iteration is a full world run), and the calibration serve path
+# (BENCH_calibrate: Decide latency for the analytic heuristic, the
+# calibrated table scan, the fitted surface on a cold miss, and a warm
+# cache hit, plus the one-time surface fit cost) as machine-readable
+# artifacts (compared across
 # PRs, e.g. `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`,
 # or gated: `go run ./cmd/benchjson -compare -threshold 10 old new`).
 bench-json:
@@ -63,7 +82,8 @@ bench-json:
 	$(GO) test ./internal/kernel -run '^$$' -bench Binned -benchmem | $(GO) run ./cmd/benchjson > BENCH_binned.json
 	$(GO) test ./internal/selector -run '^$$' -bench Bounds -benchmem | $(GO) run ./cmd/benchjson > BENCH_bounds.json
 	$(GO) test ./internal/mpirt -run '^$$' -bench Collective -benchtime 1x | $(GO) run ./cmd/benchjson > BENCH_mpirt.json
-	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json BENCH_bounds.json BENCH_mpirt.json
+	$(GO) test ./internal/selector -run '^$$' -bench CalibrationSurface -benchmem | $(GO) run ./cmd/benchjson > BENCH_calibrate.json
+	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json BENCH_bounds.json BENCH_mpirt.json BENCH_calibrate.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

@@ -100,6 +100,22 @@ func WithDecisionCacheConfig(cfg selector.CacheConfig) Option {
 	return func(rt *Runtime) { rt.sel.Cache = selector.NewDecisionCache(cfg) }
 }
 
+// WithCalibration installs a host calibration artifact (cmd/calibrate)
+// as the runtime's selection policy: the artifact's measurements are
+// fitted once into a selection surface, so every cold-miss decision is
+// a few array comparisons instead of a table scan, and a decision cache
+// is attached (if none was configured) so repeat traffic is a hash
+// probe. Apply after any WithDecisionCacheConfig option you want to
+// keep.
+func WithCalibration(cal *selector.Calibration) Option {
+	return func(rt *Runtime) {
+		rt.sel.Policy = cal.SurfacePolicy()
+		if rt.sel.Cache == nil {
+			rt.sel.Cache = selector.NewDecisionCache(selector.CacheConfig{})
+		}
+	}
+}
+
 // New returns a Runtime that keeps the relative run-to-run variability
 // of its reductions within tolerance (0 demands bitwise reproducibility).
 func New(tolerance float64, opts ...Option) *Runtime {

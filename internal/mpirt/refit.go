@@ -1,0 +1,144 @@
+package mpirt
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Measured refit of the selection table: the α-β-γ model seeds every
+// cell, but a machine that has actually run the collective benchmarks
+// (BENCH_mpirt.json) can overwrite the cells its measurements cover
+// with the measured-fastest topology — the oneCCL pattern of updating
+// per-transport tables from observed runs while keeping the model
+// answer wherever no measurement exists.
+
+// TopoSample is one measured collective run: the wall-clock ns of
+// reducing a MsgBytes-sized vector over Ranks ranks with Topo.
+type TopoSample struct {
+	Topo     Topology
+	Ranks    int
+	MsgBytes int
+	Ns       float64
+}
+
+// ParseBenchSample maps a collective benchmark name and its ns/op onto
+// a TopoSample. It understands the two BENCH_mpirt shapes:
+//
+//	BenchmarkCollective/topo=<name>/ranks=<d>            (scalar: 8 bytes)
+//	BenchmarkCollectiveVector/topo=<name>/ranks=<d>/elems=<d>
+//
+// with or without the trailing -<procs> suffix Go appends. Unrelated
+// benchmark names return ok = false.
+func ParseBenchSample(name string, nsPerOp float64) (TopoSample, bool) {
+	parts := strings.Split(name, "/")
+	if len(parts) < 3 {
+		return TopoSample{}, false
+	}
+	base := parts[0]
+	if base != "BenchmarkCollective" && base != "BenchmarkCollectiveVector" {
+		return TopoSample{}, false
+	}
+	// Strip the -<procs> suffix from the final component.
+	last := parts[len(parts)-1]
+	if i := strings.LastIndexByte(last, '-'); i >= 0 {
+		if _, err := strconv.Atoi(last[i+1:]); err == nil {
+			parts[len(parts)-1] = last[:i]
+		}
+	}
+	var s TopoSample
+	s.Ns = nsPerOp
+	elems := 1
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return TopoSample{}, false
+		}
+		switch key {
+		case "topo":
+			topo, err := ParseTopology(val)
+			if err != nil {
+				return TopoSample{}, false
+			}
+			s.Topo = topo
+		case "ranks":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return TopoSample{}, false
+			}
+			s.Ranks = n
+		case "elems":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return TopoSample{}, false
+			}
+			elems = n
+		default:
+			return TopoSample{}, false
+		}
+	}
+	if s.Ranks < 1 {
+		return TopoSample{}, false
+	}
+	s.MsgBytes = 8 * elems
+	return s, true
+}
+
+// Refit returns a copy of the table with every bucket that at least two
+// distinct topologies were measured in overwritten by the
+// measured-fastest usable topology (a single-topology bucket has no
+// comparison to make, so the model answer stands), plus the number of
+// cells overwritten. Samples with non-finite or non-positive timings
+// are ignored, and a measured winner that fails the can_use guard at
+// the bucket representative yields to the next-fastest usable one — a
+// corrupt benchmark file can shrink the refit, never break the table.
+func (t *SelectionTable) Refit(samples []TopoSample) (*SelectionTable, int) {
+	out := *t
+	// best[lm][lr][topo] = min measured ns for that bucket.
+	type bucket = map[Topology]float64
+	best := map[[2]int]bucket{}
+	for _, s := range samples {
+		if !(s.Ns > 0) || math.IsInf(s.Ns, 0) {
+			continue
+		}
+		key := [2]int{logBucket(s.MsgBytes, selTableMaxLogMsg), logBucket(s.Ranks, selTableMaxLogRanks)}
+		b := best[key]
+		if b == nil {
+			b = bucket{}
+			best[key] = b
+		}
+		if v, ok := b[s.Topo]; !ok || s.Ns < v {
+			b[s.Topo] = s.Ns
+		}
+	}
+	refit := 0
+	for key, b := range best {
+		if len(b) < 2 {
+			continue
+		}
+		lm, lr := key[0], key[1]
+		elems := int(uint64(1) << lm / 8)
+		if elems < 1 {
+			elems = 1
+		}
+		ranks := 1 << lr
+		winner, winNs := Topology(0), math.Inf(1)
+		found := false
+		// Iterate in the canonical order so ties break toward the
+		// simpler schedule, like BestTopology.
+		for _, topo := range Topologies {
+			ns, measured := b[topo]
+			if !measured || !topo.CanUse(ranks, elems) {
+				continue
+			}
+			if ns < winNs {
+				winner, winNs, found = topo, ns, true
+			}
+		}
+		if found {
+			out.cells[lm][lr] = winner
+			refit++
+		}
+	}
+	return &out, refit
+}

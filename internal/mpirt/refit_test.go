@@ -1,0 +1,118 @@
+package mpirt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseBenchSample(t *testing.T) {
+	cases := []struct {
+		name string
+		want TopoSample
+		ok   bool
+	}{
+		{"BenchmarkCollective/topo=binomial/ranks=256", TopoSample{Topo: Binomial, Ranks: 256, MsgBytes: 8, Ns: 5}, true},
+		{"BenchmarkCollective/topo=rabenseifner/ranks=1024-8", TopoSample{Topo: Rabenseifner, Ranks: 1024, MsgBytes: 8, Ns: 5}, true},
+		{"BenchmarkCollectiveVector/topo=chain/ranks=64/elems=4096", TopoSample{Topo: Chain, Ranks: 64, MsgBytes: 32768, Ns: 5}, true},
+		{"BenchmarkCollectiveVector/topo=dtree/ranks=64/elems=4096-16", TopoSample{Topo: DoubleTree, Ranks: 64, MsgBytes: 32768, Ns: 5}, true},
+		{"BenchmarkSweep/fused/n=100", TopoSample{}, false},
+		{"BenchmarkCollective/topo=warp/ranks=64", TopoSample{}, false},
+		{"BenchmarkCollective/topo=binomial", TopoSample{}, false},
+		{"BenchmarkCollective/topo=binomial/ranks=zero", TopoSample{}, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseBenchSample(tc.name, 5)
+		if ok != tc.ok {
+			t.Errorf("%s: ok=%v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("%s: parsed %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRefitOverwritesMeasuredCells pins the refit contract: a bucket
+// with two or more measured topologies adopts the measured-fastest
+// usable one, buckets with fewer keep the model answer, and the
+// original table is never mutated.
+func TestRefitOverwritesMeasuredCells(t *testing.T) {
+	base := NewSelectionTable(DefaultMachine())
+	orig := base.Pick(8, 256)
+
+	// Make the measurement disagree with the model: whatever the model
+	// picked for (8B, 256 ranks), claim flat measured 10x faster.
+	samples := []TopoSample{
+		{Topo: orig, Ranks: 256, MsgBytes: 8, Ns: 1000},
+		{Topo: Flat, Ranks: 256, MsgBytes: 8, Ns: 100},
+		// A lone sample in another bucket: no comparison, no refit.
+		{Topo: Chain, Ranks: 16, MsgBytes: 1 << 20, Ns: 1},
+	}
+	refit, n := base.Refit(samples)
+	if n != 1 {
+		t.Fatalf("refit %d cells, want 1", n)
+	}
+	if got := refit.Pick(8, 256); got != Flat {
+		t.Errorf("refit table picks %v for measured bucket, want flat", got)
+	}
+	if got := base.Pick(8, 256); got != orig {
+		t.Errorf("original table mutated: picks %v, want %v", got, orig)
+	}
+	if got, want := refit.Pick(1<<20, 16), base.Pick(1<<20, 16); got != want {
+		t.Errorf("single-sample bucket changed: %v, want model answer %v", got, want)
+	}
+}
+
+// TestRefitMinOverDuplicates: repeated measurements of one topology
+// collapse to their minimum before comparison.
+func TestRefitMinOverDuplicates(t *testing.T) {
+	base := NewSelectionTable(DefaultMachine())
+	samples := []TopoSample{
+		{Topo: Binomial, Ranks: 64, MsgBytes: 64, Ns: 500},
+		{Topo: Binomial, Ranks: 64, MsgBytes: 64, Ns: 90}, // best binomial run
+		{Topo: Flat, Ranks: 64, MsgBytes: 64, Ns: 100},
+	}
+	refit, n := base.Refit(samples)
+	if n != 1 {
+		t.Fatalf("refit %d cells, want 1", n)
+	}
+	if got := refit.Pick(64, 64); got != Binomial {
+		t.Errorf("refit picks %v, want binomial (min 90ns beats flat 100ns)", got)
+	}
+}
+
+// TestRefitDegenerateSamples: non-finite and non-positive timings are
+// dropped, and a measured winner failing can_use at the bucket
+// representative yields to the next usable topology.
+func TestRefitDegenerateSamples(t *testing.T) {
+	base := NewSelectionTable(DefaultMachine())
+
+	bad := []TopoSample{
+		{Topo: Flat, Ranks: 256, MsgBytes: 8, Ns: math.NaN()},
+		{Topo: Binomial, Ranks: 256, MsgBytes: 8, Ns: math.Inf(1)},
+		{Topo: Chain, Ranks: 256, MsgBytes: 8, Ns: -5},
+		{Topo: DoubleTree, Ranks: 256, MsgBytes: 8, Ns: 0},
+	}
+	if _, n := base.Refit(bad); n != 0 {
+		t.Errorf("unusable samples refit %d cells, want 0", n)
+	}
+	if _, n := base.Refit(nil); n != 0 {
+		t.Errorf("nil samples refit %d cells, want 0", n)
+	}
+
+	// Rabenseifner cannot run 1 elem over 256 ranks (elems < pof2):
+	// even measured fastest, the refit must fall through to the next
+	// measured usable topology.
+	guard := []TopoSample{
+		{Topo: Rabenseifner, Ranks: 256, MsgBytes: 8, Ns: 1},
+		{Topo: Binomial, Ranks: 256, MsgBytes: 8, Ns: 50},
+		{Topo: Flat, Ranks: 256, MsgBytes: 8, Ns: 200},
+	}
+	refit, n := base.Refit(guard)
+	if n != 1 {
+		t.Fatalf("refit %d cells, want 1", n)
+	}
+	if got := refit.Pick(8, 256); got != Binomial {
+		t.Errorf("refit picks %v, want binomial (rabenseifner fails can_use at 1 elem)", got)
+	}
+}

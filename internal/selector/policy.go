@@ -123,6 +123,9 @@ type CalibrationConfig struct {
 	Ns  []int
 	Ks  []float64
 	DRs []int
+	// Algorithms to measure per cell (default sum.PaperAlgorithms; the
+	// calibration harness passes the full selection ladder).
+	Algorithms []sum.Algorithm
 	// Trials per cell (default 50).
 	Trials int
 	// Shape of the calibration trees (default Balanced).
@@ -149,6 +152,9 @@ func (c CalibrationConfig) withDefaults() CalibrationConfig {
 	if c.Safety <= 0 {
 		c.Safety = 4
 	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = sum.PaperAlgorithms
+	}
 	return c
 }
 
@@ -161,7 +167,7 @@ func Calibrate(cfg CalibrationConfig) *CalibratedPolicy {
 		cells = append(cells, grid.KDRGrid(n, cfg.Ks, cfg.DRs)...)
 	}
 	results := grid.Sweep(cells, grid.Config{
-		Algorithms: sum.PaperAlgorithms,
+		Algorithms: cfg.Algorithms,
 		Trials:     cfg.Trials,
 		Shape:      cfg.Shape,
 		Seed:       cfg.Seed,

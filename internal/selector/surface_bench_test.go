@@ -1,0 +1,71 @@
+package selector
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkCalibrationSurface measures the serve-time selection ladder
+// end to end at the Decide level (profile in hand, bounds included):
+// the analytic heuristic, the calibrated nearest-neighbor table scan,
+// the fitted surface serving the same calibration on a cold cache miss,
+// and a warm cache hit over the surface — plus the one-time fit cost.
+// The acceptance bar for this PR: decide=surface at least 5x faster
+// than decide=calibscan, with zero allocations.
+func BenchmarkCalibrationSurface(b *testing.B) {
+	scan := syntheticTable()
+	cells := scan.Cells()
+	surface := FitSurface(cells, nil, 4)
+	xs := gen.Spec{N: 100000, Cond: 1e8, DynRange: 24, Seed: 91}.Generate()
+	prof := ProfileOf(xs)
+	var sink Decision
+
+	b.Run("decide=heuristic", func(b *testing.B) {
+		s := New(1e-12)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = s.Decide(prof)
+		}
+	})
+	b.Run("decide=calibscan", func(b *testing.B) {
+		s := New(1e-12)
+		s.Policy = scan
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink = s.Decide(prof)
+		}
+	})
+	b.Run("decide=surface", func(b *testing.B) {
+		s := New(1e-12)
+		s.Policy = surface
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink = s.Decide(prof)
+		}
+	})
+	b.Run("decide=cachehit", func(b *testing.B) {
+		s := New(1e-12)
+		s.Policy = surface
+		s.Cache = NewDecisionCache(CacheConfig{})
+		s.Decide(prof) // warm the bucket
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink = s.Decide(prof)
+		}
+		b.StopTimer()
+		b.ReportMetric(s.Cache.Stats().HitRate(), "hit-rate")
+	})
+	b.Run("fit", func(b *testing.B) {
+		var sp *CalibratedSurfacePolicy
+		for i := 0; i < b.N; i++ {
+			sp = FitSurface(cells, nil, 4)
+		}
+		b.ReportMetric(float64(len(cells)), "cells")
+		_ = sp
+	})
+	_ = sink
+}

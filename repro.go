@@ -29,6 +29,8 @@
 package repro
 
 import (
+	"os"
+
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
@@ -149,6 +151,34 @@ func WithDecisionCache(capacity int) Option { return core.WithDecisionCache(capa
 // WithDecisionCacheConfig is WithDecisionCache with explicit cache
 // geometry (see CacheConfig).
 func WithDecisionCacheConfig(cfg CacheConfig) Option { return core.WithDecisionCacheConfig(cfg) }
+
+// Calibration is a host calibration artifact measured by cmd/calibrate:
+// the accuracy sweep, engine cost samples, and the parameters that
+// reproduce them (see selector.Calibration).
+type Calibration = selector.Calibration
+
+// LoadCalibrationFile reads a calibration artifact written by
+// cmd/calibrate (or selector.SaveCalibration). Unknown versions and
+// truncated files are rejected.
+func LoadCalibrationFile(path string) (*Calibration, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return selector.LoadCalibration(f)
+}
+
+// WithCalibration installs a host calibration as the Runtime's
+// selection policy: the artifact's measured crossover surfaces replace
+// the analytic model, fitted once at startup so every selection is a
+// handful of comparisons, with a decision cache attached (if none was
+// configured) for repeat traffic. The closed loop is:
+//
+//	calibrate -out host.reprocal         // once per host
+//	cal, _ := repro.LoadCalibrationFile("host.reprocal")
+//	rt := repro.New(1e-12, repro.WithCalibration(cal))
+func WithCalibration(cal *Calibration) Option { return core.WithCalibration(cal) }
 
 // New returns a Runtime that keeps the relative run-to-run variability
 // of its reductions within tolerance; 0 demands bitwise reproducibility.
