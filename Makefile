@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-json artifacts calibrate-quick clean
+.PHONY: build test verify bench bench-json artifacts calibrate-quick serve-check clean
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,19 @@ verify:
 	$(GO) test -run 'BoundsExt|CollectivesExt' ./internal/experiments
 	$(GO) test ./internal/kernel -run '^$$' -bench 'BinnedVsAlternatives1M/(binned|stkernel)' -benchtime 0.3s \
 		| $(GO) run ./cmd/benchjson -ratio 'BenchmarkBinnedVsAlternatives1M/binned,BenchmarkBinnedVsAlternatives1M/stkernel' -max 2.2
+	$(MAKE) serve-check
 	$(MAKE) calibrate-quick
+
+# serve-check boots the aggregation server on a random port and gates
+# the reduction-as-a-service path: the arrival-order-invariance pin
+# (two different partition/batch shapes of the same data must snapshot
+# to identical bits, equal to the serial binned sum) plus a 5-second
+# mini load test that fails below 100k deposits/sec or on any bit
+# mismatch against the offline-recomputed exact sum. Regressions in
+# the recorded BENCH_serve.json are gated separately, e.g.
+# `go run ./cmd/benchjson -compare -threshold 15 old.json BENCH_serve.json`.
+serve-check:
+	$(GO) test -v -run TestServeCheck ./internal/aggsrv -servecheck
 
 # calibrate-quick runs the self-calibration loop end to end in seconds:
 # a small-envelope host sweep (cmd/calibrate -quick), an immediate
@@ -71,8 +83,12 @@ bench:
 # iteration is a full world run), and the calibration serve path
 # (BENCH_calibrate: Decide latency for the analytic heuristic, the
 # calibrated table scan, the fitted surface on a cold miss, and a warm
-# cache hit, plus the one-time surface fit cost) as machine-readable
-# artifacts (compared across
+# cache hit, plus the one-time surface fit cost), and the aggregation
+# service (BENCH_serve: the server-side steady-state deposit path with
+# its 0 allocs/op pin, plus end-to-end TCP throughput across the
+# clients {1,16,256} × batch {1,64,4096} grid with deposits/s and
+# p50/p99 flush-barrier latency; gate with -threshold 15) as
+# machine-readable artifacts (compared across
 # PRs, e.g. `go run ./cmd/benchjson -compare old.json BENCH_kernels.json`,
 # or gated: `go run ./cmd/benchjson -compare -threshold 10 old new`).
 bench-json:
@@ -83,7 +99,8 @@ bench-json:
 	$(GO) test ./internal/selector -run '^$$' -bench Bounds -benchmem | $(GO) run ./cmd/benchjson > BENCH_bounds.json
 	$(GO) test ./internal/mpirt -run '^$$' -bench Collective -benchtime 1x | $(GO) run ./cmd/benchjson > BENCH_mpirt.json
 	$(GO) test ./internal/selector -run '^$$' -bench CalibrationSurface -benchmem | $(GO) run ./cmd/benchjson > BENCH_calibrate.json
-	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json BENCH_bounds.json BENCH_mpirt.json BENCH_calibrate.json
+	$(GO) test ./internal/aggsrv -run '^$$' -bench 'DepositPath|Serve' -benchmem -benchtime 0.3s | $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@cat BENCH_sweep.json BENCH_kernels.json BENCH_selector.json BENCH_binned.json BENCH_bounds.json BENCH_mpirt.json BENCH_calibrate.json BENCH_serve.json
 
 artifacts:
 	$(GO) run ./cmd/redbench -out results-quick

@@ -1,0 +1,79 @@
+// Command reprosumd runs the reduction-as-a-service aggregation
+// daemon: a TCP endpoint that folds streaming deposit batches from
+// many clients into named reproducible accumulators (see
+// internal/aggsrv for the wire protocol).
+//
+// Usage:
+//
+//	reprosumd [-addr :7464] [-shards 16] [-read-timeout 1m]
+//	          [-write-timeout 10s] [-drain-timeout 30s]
+//
+// On SIGINT or SIGTERM the daemon stops accepting connections and
+// drains in-flight ones for up to -drain-timeout before force-closing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/aggsrv"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7464", "listen address")
+		shards       = flag.Int("shards", 16, "accumulator shards (rounded up to a power of two)")
+		readTimeout  = flag.Duration("read-timeout", time.Minute, "per-frame read deadline (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-reply write deadline (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *readTimeout, *writeTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "reprosumd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards int, readTimeout, writeTimeout, drainTimeout time.Duration) error {
+	srv := aggsrv.New(aggsrv.Config{
+		Shards:       shards,
+		ReadTimeout:  readTimeout,
+		WriteTimeout: writeTimeout,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("reprosumd listening on %s (%d shards)", ln.Addr(), shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, draining for up to %v", s, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain window expired, connections force-closed: %v", err)
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+		st := srv.Stats()
+		log.Printf("drained: %d deposits in %d batches across %d keys, %d snapshots served",
+			st.Deposits, st.Batches, st.Keys, st.Snapshots)
+		return nil
+	}
+}

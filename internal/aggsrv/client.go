@@ -1,0 +1,233 @@
+package aggsrv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"repro/internal/binned"
+	"repro/internal/wire"
+)
+
+// maxClientBatch is the largest number of scalars the client packs into
+// one deposit frame; larger slices are split transparently. 8192
+// scalars is a 64 KiB payload — big enough to amortize framing, small
+// enough to stay well under any server MaxFrame.
+const maxClientBatch = 8192
+
+// Client is a connection to an aggregation server. A Client is not
+// safe for concurrent use; give each goroutine its own (deposits from
+// different connections interleave exactly, so this costs nothing).
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	enc  []byte // reusable frame build buffer
+}
+
+// Snapshot is a consistent point-in-time view of one server-side
+// accumulator.
+type Snapshot struct {
+	// Value is the correctly-rounded sum of every deposit folded into
+	// the key at snapshot time (the binned Finalize).
+	Value float64
+	// Count is the number of scalar deposits behind Value.
+	Count int64
+	// Wire is the canonical reprostate v1 encoding of the accumulator
+	// state, suitable for re-depositing ('S') or offline inspection.
+	Wire []byte
+}
+
+// State decodes the snapshot's wire state back into a live accumulator.
+func (s *Snapshot) State() (binned.State, error) {
+	st, n, err := wire.DecodeBinned(s.Wire)
+	if err != nil {
+		return binned.State{}, err
+	}
+	if n != len(s.Wire) {
+		return binned.State{}, fmt.Errorf("aggsrv: %d trailing bytes after snapshot state", len(s.Wire)-n)
+	}
+	return st, nil
+}
+
+// Dial connects to an aggregation server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for tests and
+// custom transports).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+		br:   bufio.NewReaderSize(conn, 1<<15),
+	}
+}
+
+// Deposit streams xs into key's accumulator. Deposits are buffered and
+// fire-and-forget: call Flush to barrier them. Large slices are split
+// into multiple frames; exactness makes the chunking invisible in the
+// final bits.
+func (c *Client) Deposit(key string, xs []float64) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > maxClientBatch {
+			n = maxClientBatch
+		}
+		c.enc = c.enc[:0]
+		c.enc = appendFrameHeader(c.enc, 1+2+len(key)+8*n)
+		c.enc = append(c.enc, opDeposit)
+		c.enc = appendKey(c.enc, key)
+		for _, x := range xs[:n] {
+			c.enc = binary.LittleEndian.AppendUint64(c.enc, math.Float64bits(x))
+		}
+		if _, err := c.bw.Write(c.enc); err != nil {
+			return err
+		}
+		xs = xs[n:]
+	}
+	return nil
+}
+
+// DepositState merges a locally accumulated binned state into key's
+// accumulator — the rank-local-partials pattern: accumulate locally,
+// ship one canonical state instead of every scalar.
+func (c *Client) DepositState(key string, st *binned.State) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	snap := st.Snapshot()
+	c.enc = c.enc[:0]
+	c.enc = appendFrameHeader(c.enc, 1+2+len(key)+wire.EncodedSize(wire.KindBinned))
+	c.enc = append(c.enc, opState)
+	c.enc = appendKey(c.enc, key)
+	c.enc = wire.AppendBinned(c.enc, &snap)
+	_, err := c.bw.Write(c.enc)
+	return err
+}
+
+// Flush barriers the connection: it returns once the server has
+// applied every deposit sent before it.
+func (c *Client) Flush() error {
+	c.enc = c.enc[:0]
+	c.enc = appendFrameHeader(c.enc, 1)
+	c.enc = append(c.enc, opFlush)
+	if _, err := c.bw.Write(c.enc); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	op, _, err := c.readReply()
+	if err != nil {
+		return err
+	}
+	if op != repAck {
+		return fmt.Errorf("aggsrv: flush got reply 0x%02x, want ack", op)
+	}
+	return nil
+}
+
+// Snapshot returns a consistent snapshot of key's accumulator. It
+// implies a flush of this connection's own deposits (frames are applied
+// in order), but not of other connections'. The returned state is
+// decoded and cross-checked against the server-computed value bits, so
+// a corrupt reply surfaces as an error, never as silently wrong bits.
+func (c *Client) Snapshot(key string) (Snapshot, error) {
+	if err := validKey(key); err != nil {
+		return Snapshot{}, err
+	}
+	c.enc = c.enc[:0]
+	c.enc = appendFrameHeader(c.enc, 1+2+len(key))
+	c.enc = append(c.enc, opSnap)
+	c.enc = appendKey(c.enc, key)
+	if _, err := c.bw.Write(c.enc); err != nil {
+		return Snapshot{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Snapshot{}, err
+	}
+	op, body, err := c.readReply()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if op != repSnap || len(body) < 1+8 {
+		return Snapshot{}, fmt.Errorf("aggsrv: snapshot got reply 0x%02x (%d bytes)", op, len(body))
+	}
+	snap := Snapshot{
+		Value: math.Float64frombits(binary.LittleEndian.Uint64(body[1:])),
+		Wire:  append([]byte(nil), body[9:]...),
+	}
+	st, err := snap.State()
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("aggsrv: snapshot state rejected: %v", err)
+	}
+	if got := math.Float64bits(st.Finalize()); got != math.Float64bits(snap.Value) {
+		return Snapshot{}, fmt.Errorf("aggsrv: snapshot value bits %x disagree with state bits %x",
+			math.Float64bits(snap.Value), got)
+	}
+	snap.Count = st.Count()
+	return snap, nil
+}
+
+// Close flushes buffered deposits and closes the connection. Deposits
+// not barriered by a Flush may be dropped if the connection dies;
+// Close's own flush covers the clean-shutdown path.
+func (c *Client) Close() error {
+	ferr := c.bw.Flush()
+	cerr := c.conn.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// readReply reads one reply frame, translating 'E' replies to errors.
+func (c *Client) readReply() (byte, []byte, error) {
+	var len4 [4]byte
+	if _, err := io.ReadFull(c.br, len4[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(len4[:]))
+	if n == 0 || n > 1<<21 {
+		return 0, nil, fmt.Errorf("aggsrv: reply frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, err
+	}
+	if body[0] == repErr {
+		return 0, nil, errors.New("aggsrv: server: " + string(body[1:]))
+	}
+	return body[0], body, nil
+}
+
+func appendFrameHeader(dst []byte, bodyLen int) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
+}
+
+// validKey rejects keys the uint16 length prefix cannot carry; the
+// server's (usually much tighter) MaxKeyLen is enforced server-side.
+func validKey(key string) error {
+	if len(key) > 1<<16-1 {
+		return fmt.Errorf("aggsrv: key length %d exceeds wire limit", len(key))
+	}
+	return nil
+}
+
+func appendKey(dst []byte, key string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	return append(dst, key...)
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package aggsrv
+
+// raceEnabled gates test sizing: see race_on.go.
+const raceEnabled = false

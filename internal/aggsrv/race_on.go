@@ -1,0 +1,8 @@
+//go:build race
+
+package aggsrv
+
+// raceEnabled gates test sizing: the 256-connection invariance pins
+// are scaled down under -race, where goroutine and lock overhead would
+// otherwise dominate the suite.
+const raceEnabled = true

@@ -1,0 +1,96 @@
+package binned
+
+import "fmt"
+
+// StateSlots is the length of a State's bin array (66 bins spanning the
+// float64 exponent range plus Folds-1 pad slots below bin 0), exported
+// so serializers can carry the array without reflecting over private
+// fields.
+const StateSlots = numSlots
+
+// MaxPend is the exclusive upper bound on a live State's pending-deposit
+// counter: the fixed carry schedule renormalizes whenever pend reaches
+// renormEvery, so every state observable through the public API holds
+// pend in [0, MaxPend). Serializers use it to reject counters no real
+// state can carry (which would void the exact-accumulation headroom
+// bounds on subsequent deposits).
+const MaxPend = renormEvery
+
+// Snapshot is the complete serializable content of a State, with every
+// field exported. It exists for the wire layer: Snapshot/Restore are
+// the stable accessor pair, so external encodings never reflect over
+// State's private fields and the package is free to keep its in-memory
+// layout private.
+//
+// A restored state is field-for-field the state that was snapshotted —
+// including the renormalization counter Pend, which is part of the
+// exactness bookkeeping (it bounds how many more deposits may land
+// before a carry pass must run), and the NaN/±Inf tallies, which carry
+// IEEE semantics order-invariantly. Restore therefore resumes
+// depositing and merging bitwise-identically to the never-serialized
+// original.
+type Snapshot struct {
+	// Bins is the bin array: Bins[j+2] is the bin-j total, an exact
+	// multiple of the bin's quantum (scaled by 2^-512 for bins >= 64).
+	Bins [StateSlots]float64
+	// Count is the number of operands absorbed.
+	Count int64
+	// Pend counts deposits since the last renormalization pass.
+	Pend int64
+	// PosInf and NegInf tally ±Inf operands; NaN records any NaN
+	// operand.
+	PosInf, NegInf int64
+	NaN            bool
+}
+
+// Snapshot returns the complete state content. It does not modify st.
+func (st *State) Snapshot() Snapshot {
+	return Snapshot{
+		Bins:   st.bins,
+		Count:  st.count,
+		Pend:   st.pend,
+		PosInf: st.posInf,
+		NegInf: st.negInf,
+		NaN:    st.nan,
+	}
+}
+
+// Validate checks the invariants every API-produced state satisfies:
+// non-negative counters and a pending-deposit count inside the carry
+// schedule's budget. A snapshot violating them cannot have come from
+// Snapshot on a live state, and restoring it would void the exactness
+// bounds (a forged Pend defers renormalization past the 2^53-quanta
+// headroom), so Restore rejects it.
+func (s *Snapshot) Validate() error {
+	if s.Count < 0 {
+		return fmt.Errorf("binned: negative operand count %d", s.Count)
+	}
+	if s.Pend < 0 || s.Pend >= MaxPend {
+		return fmt.Errorf("binned: pending-deposit count %d outside [0, %d)", s.Pend, int64(MaxPend))
+	}
+	if s.PosInf < 0 || s.NegInf < 0 {
+		return fmt.Errorf("binned: negative infinity tally %d/%d", s.PosInf, s.NegInf)
+	}
+	if s.PosInf+s.NegInf > s.Count {
+		return fmt.Errorf("binned: infinity tallies %d exceed operand count %d", s.PosInf+s.NegInf, s.Count)
+	}
+	return nil
+}
+
+// Restore reconstructs the snapshotted State. The result is
+// field-for-field the snapshotted state, so its subsequent deposits,
+// merges, and Finalize are bitwise-identical to the original's. Invalid
+// snapshots (see Validate) are rejected.
+func Restore(s Snapshot) (State, error) {
+	if err := s.Validate(); err != nil {
+		return State{}, err
+	}
+	return State{
+		bins:   s.Bins,
+		count:  s.Count,
+		pend:   s.Pend,
+		posInf: s.PosInf,
+		negInf: s.NegInf,
+		nan:    s.NaN,
+	}, nil
+}

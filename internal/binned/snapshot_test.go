@@ -1,0 +1,132 @@
+package binned
+
+import (
+	"math"
+	"testing"
+)
+
+// adversarialOperands is a deposit stream exercising every state
+// component: denormals, -0, huge top-window values, sign mixes, and
+// enough bulk to cross carry-pass boundaries when repeated.
+func adversarialOperands() []float64 {
+	return []float64{
+		1, -1.5, 0x1p-1074, -0x1p-1050, 0.0, math.Copysign(0, -1),
+		0x1.fffffffffffffp1023, -0x1p990, 3.14e-200, -2.71e200,
+		0x1p-500, -0x1p-500, 1e16, -1e-16, 0x1.23456789abcdep42,
+	}
+}
+
+// compareStates asserts two states are field-for-field identical at the
+// bit level.
+func compareStates(t *testing.T, label string, a, b *State) {
+	t.Helper()
+	sa, sb := a.Snapshot(), b.Snapshot()
+	for i := range sa.Bins {
+		if math.Float64bits(sa.Bins[i]) != math.Float64bits(sb.Bins[i]) {
+			t.Fatalf("%s: bin slot %d differs: %x vs %x",
+				label, i, math.Float64bits(sa.Bins[i]), math.Float64bits(sb.Bins[i]))
+		}
+	}
+	if sa.Count != sb.Count || sa.Pend != sb.Pend ||
+		sa.PosInf != sb.PosInf || sa.NegInf != sb.NegInf || sa.NaN != sb.NaN {
+		t.Fatalf("%s: counters differ: %+v vs %+v", label,
+			struct{ C, P, PI, NI int64 }{sa.Count, sa.Pend, sa.PosInf, sa.NegInf},
+			struct{ C, P, PI, NI int64 }{sb.Count, sb.Pend, sb.PosInf, sb.NegInf})
+	}
+	if math.Float64bits(a.Finalize()) != math.Float64bits(b.Finalize()) {
+		t.Fatalf("%s: Finalize bits differ: %x vs %x",
+			label, math.Float64bits(a.Finalize()), math.Float64bits(b.Finalize()))
+	}
+}
+
+// TestSnapshotRestoreTwin pins the satellite contract: a state
+// round-tripped through Snapshot/Restore continues depositing and
+// merging bitwise-identically to the never-serialized twin — including
+// across renormalization boundaries, where the Pend counter (not just
+// the bins) determines the carry-pass timing.
+func TestSnapshotRestoreTwin(t *testing.T) {
+	ops := adversarialOperands()
+	var twin State
+	for i := 0; i < 1000; i++ {
+		twin.Add(ops[i%len(ops)])
+	}
+	// Park the twin 10 deposits below a renorm boundary so the restored
+	// copy must reproduce the carry-pass timing exactly.
+	fill := make([]float64, MaxPend-int(twin.Snapshot().Pend)-10)
+	for i := range fill {
+		fill[i] = float64(i%97) * 0x1p-30
+	}
+	twin.AddSlice(fill)
+	if got := twin.Snapshot().Pend; got != MaxPend-10 {
+		t.Fatalf("parking failed: pend %d, want %d", got, MaxPend-10)
+	}
+
+	restored, err := Restore(twin.Snapshot())
+	if err != nil {
+		t.Fatalf("Restore rejected a live snapshot: %v", err)
+	}
+	compareStates(t, "immediately after restore", &twin, &restored)
+
+	// Deposit across the renorm boundary on both, one element at a time.
+	for i := 0; i < 25; i++ {
+		x := float64(i+1) * 0x1p-20
+		twin.Add(x)
+		restored.Add(x)
+	}
+	compareStates(t, "after crossing a renorm boundary", &twin, &restored)
+	filler := fill[:1111]
+
+	// Element-wise deposits and specials.
+	for _, x := range adversarialOperands() {
+		twin.Add(x)
+		restored.Add(x)
+	}
+	compareStates(t, "after special deposits", &twin, &restored)
+
+	// Merge each against a common other state.
+	var other State
+	other.AddSlice(filler)
+	other.Add(math.Inf(1))
+	twin.Merge(&other)
+	restored.Merge(&other)
+	compareStates(t, "after merge", &twin, &restored)
+
+	// NaN poison propagates identically.
+	twin.Add(math.NaN())
+	restored.Add(math.NaN())
+	sa, sb := twin.Snapshot(), restored.Snapshot()
+	if !sa.NaN || !sb.NaN {
+		t.Fatal("NaN deposit did not poison both twins")
+	}
+}
+
+// TestRestoreRejectsInvalid pins the validation envelope: counters no
+// live state can hold are rejected rather than silently voiding the
+// exactness bounds.
+func TestRestoreRejectsInvalid(t *testing.T) {
+	var st State
+	st.Add(1)
+	good := st.Snapshot()
+	if _, err := Restore(good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Snapshot)
+	}{
+		{"negative count", func(s *Snapshot) { s.Count = -1 }},
+		{"negative pend", func(s *Snapshot) { s.Pend = -5 }},
+		{"pend at schedule bound", func(s *Snapshot) { s.Pend = MaxPend }},
+		{"pend beyond schedule", func(s *Snapshot) { s.Pend = MaxPend + 7 }},
+		{"negative posInf", func(s *Snapshot) { s.PosInf = -1 }},
+		{"negative negInf", func(s *Snapshot) { s.NegInf = -2 }},
+		{"inf tallies exceed count", func(s *Snapshot) { s.PosInf = s.Count + 1 }},
+	}
+	for _, tc := range cases {
+		s := good
+		tc.mut(&s)
+		if _, err := Restore(s); err == nil {
+			t.Errorf("%s: Restore accepted an invalid snapshot", tc.name)
+		}
+	}
+}

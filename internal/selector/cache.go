@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // DecisionCache memoizes selection decisions keyed by a quantized
@@ -204,14 +205,19 @@ type cacheEntry struct {
 const nilIdx int32 = -1
 
 // cacheShard is one independently locked segment: a map from key to
-// slab index plus an intrusive LRU list over the slab.
+// slab index plus an intrusive LRU list over the slab. The counters
+// are atomics so Stats reads them without touching mu — observability
+// never contends with decision traffic.
 type cacheShard struct {
-	mu           sync.Mutex
-	idx          map[cacheKey]int32
-	ents         []cacheEntry
-	cap          int
-	head, tail   int32
-	hits, misses int64
+	mu         sync.Mutex
+	idx        map[cacheKey]int32
+	ents       []cacheEntry
+	cap        int
+	head, tail int32
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	entries atomic.Int64
 }
 
 // NewDecisionCache returns an empty cache; zero-value config fields take
@@ -236,13 +242,11 @@ func NewDecisionCache(cfg CacheConfig) *DecisionCache {
 		mask:   uint64(nShards - 1),
 	}
 	for i := range dc.shards {
-		dc.shards[i] = cacheShard{
-			idx:  make(map[cacheKey]int32, perShard),
-			ents: make([]cacheEntry, 0, perShard),
-			cap:  perShard,
-			head: nilIdx,
-			tail: nilIdx,
-		}
+		sh := &dc.shards[i]
+		sh.idx = make(map[cacheKey]int32, perShard)
+		sh.ents = make([]cacheEntry, 0, perShard)
+		sh.cap = perShard
+		sh.head, sh.tail = nilIdx, nilIdx
 	}
 	return dc
 }
@@ -259,12 +263,12 @@ func (dc *DecisionCache) decide(pol Policy, p Profile, req Requirement) Decision
 	if i, ok := sh.idx[key]; ok {
 		sh.touch(i)
 		d := sh.ents[i].d
-		sh.hits++
 		sh.mu.Unlock()
+		sh.hits.Add(1)
 		return d
 	}
-	sh.misses++
 	sh.mu.Unlock()
+	sh.misses.Add(1)
 
 	rp, rreq := representative(key)
 	d := decide(pol, rp, rreq)
@@ -275,17 +279,17 @@ func (dc *DecisionCache) decide(pol Policy, p Profile, req Requirement) Decision
 	return d
 }
 
-// Stats sums the shard counters. The snapshot is per-shard consistent,
-// not globally atomic.
+// Stats sums the shard counters. The counters are atomics, so Stats
+// never blocks (or is blocked by) concurrent decide traffic; the
+// snapshot is per-counter consistent, not globally atomic, but
+// Hits+Misses never undercounts completed decide calls.
 func (dc *DecisionCache) Stats() CacheStats {
 	var cs CacheStats
 	for i := range dc.shards {
 		sh := &dc.shards[i]
-		sh.mu.Lock()
-		cs.Hits += sh.hits
-		cs.Misses += sh.misses
-		cs.Entries += int64(len(sh.idx))
-		sh.mu.Unlock()
+		cs.Hits += sh.hits.Load()
+		cs.Misses += sh.misses.Load()
+		cs.Entries += sh.entries.Load()
 	}
 	return cs
 }
@@ -330,6 +334,7 @@ func (sh *cacheShard) insert(key cacheKey, d Decision) {
 	if len(sh.ents) < sh.cap {
 		i = int32(len(sh.ents))
 		sh.ents = append(sh.ents, cacheEntry{prev: nilIdx, next: nilIdx})
+		sh.entries.Add(1)
 	} else {
 		// Reuse the LRU slot.
 		i = sh.tail

@@ -1,0 +1,78 @@
+package superacc
+
+import "fmt"
+
+// Limbs is the length of an Acc's base-2^32 digit array (the full
+// binary64 bit span plus 64 headroom bits), exported so serializers can
+// carry the array without reflecting over private fields.
+const Limbs = numLimbs
+
+// MaxPending is the exclusive upper bound on a live Acc's
+// pending-deposit counter: a carry pass runs whenever pending reaches
+// normalizeEvery, so every accumulator observable through the public
+// API holds pending in [0, MaxPending). Serializers use it to reject
+// counters no real accumulator can carry.
+const MaxPending = normalizeEvery
+
+// Snapshot is the complete serializable content of an Acc, with every
+// field exported — the stable accessor pair Snapshot/Restore keeps
+// external encodings off the private in-memory layout.
+//
+// A restored accumulator is field-for-field the accumulator that was
+// snapshotted — including the carry-pass counter Pending and the
+// non-finite poison flag — so it resumes depositing, merging, and
+// rounding bitwise-identically to the never-serialized original.
+type Snapshot struct {
+	// Limbs[i] carries weight 2^(32i - 1074); between carry passes
+	// digits may stray outside [0, 2^32), and the top limb holds the
+	// sign.
+	Limbs [Limbs]int64
+	// Pending counts deposits since the last carry pass.
+	Pending int64
+	// NaN reports the accumulator is poisoned (a NaN or ±Inf was
+	// deposited); Float64 returns NaN from then on.
+	NaN bool
+}
+
+// Snapshot returns the complete accumulator content. It does not modify
+// a (in particular, it does not normalize).
+func (a *Acc) Snapshot() Snapshot {
+	s := Snapshot{Pending: int64(a.pending), NaN: a.nan}
+	s.Limbs = a.limbs
+	return s
+}
+
+// Validate checks the invariants every API-produced accumulator
+// satisfies: a pending count inside the carry budget and limb
+// magnitudes within the carry schedule's bound — a normalized digit
+// (< 2^32) plus at most 2^33 per pending deposit (two 32-bit chunks
+// can land in one limb per call). Accepting exactly this envelope
+// admits every live accumulator while guaranteeing the remaining
+// deposit budget (MaxPending - Pending more deposits) cannot overflow
+// an int64 limb: 2^32 + MaxPending·2^33 < 2^63. Restore rejects
+// snapshots that violate it.
+func (s *Snapshot) Validate() error {
+	if s.Pending < 0 || s.Pending >= MaxPending {
+		return fmt.Errorf("superacc: pending-deposit count %d outside [0, %d)", s.Pending, int64(MaxPending))
+	}
+	bound := int64(1)<<limbBits + s.Pending*(1<<(limbBits+1))
+	for i, v := range s.Limbs {
+		if v > bound || v < -bound {
+			return fmt.Errorf("superacc: limb %d magnitude %d exceeds the carry-schedule bound %d", i, v, bound)
+		}
+	}
+	return nil
+}
+
+// Restore reconstructs the snapshotted Acc. The result is
+// field-for-field the snapshotted accumulator, so its subsequent
+// deposits, merges, and Float64 roundings are bitwise-identical to the
+// original's. Invalid snapshots (see Validate) are rejected.
+func Restore(s Snapshot) (Acc, error) {
+	if err := s.Validate(); err != nil {
+		return Acc{}, err
+	}
+	a := Acc{pending: int(s.Pending), nan: s.NaN}
+	a.limbs = s.Limbs
+	return a, nil
+}

@@ -1,0 +1,107 @@
+package superacc
+
+import (
+	"math"
+	"testing"
+)
+
+// compareAccs asserts two accumulators are field-for-field identical
+// and round to the same bits.
+func compareAccs(t *testing.T, label string, a, b *Acc) {
+	t.Helper()
+	sa, sb := a.Snapshot(), b.Snapshot()
+	for i := range sa.Limbs {
+		if sa.Limbs[i] != sb.Limbs[i] {
+			t.Fatalf("%s: limb %d differs: %d vs %d", label, i, sa.Limbs[i], sb.Limbs[i])
+		}
+	}
+	if sa.Pending != sb.Pending || sa.NaN != sb.NaN {
+		t.Fatalf("%s: bookkeeping differs: pending %d/%d nan %v/%v",
+			label, sa.Pending, sb.Pending, sa.NaN, sb.NaN)
+	}
+	if math.Float64bits(a.Float64()) != math.Float64bits(b.Float64()) {
+		t.Fatalf("%s: Float64 bits differ", label)
+	}
+}
+
+// TestSuperaccSnapshotRestoreTwin pins the satellite contract for the
+// superaccumulator: a restored accumulator's subsequent deposits,
+// scaled deposits, and merges stay bitwise-identical to the
+// never-serialized twin.
+func TestSuperaccSnapshotRestoreTwin(t *testing.T) {
+	ops := []float64{
+		1, -1.5, 0x1p-1074, -0x1p-1000, math.Copysign(0, -1),
+		0x1.fffffffffffffp1023, -0x1p1000, 3.14e-300, -2.71e300, 1e-16,
+	}
+	var twin Acc
+	for i := 0; i < 500; i++ {
+		twin.Add(ops[i%len(ops)])
+	}
+	twin.AddLdexp(0x1.8p50, 512) // top-window scaled deposit
+
+	restored, err := Restore(twin.Snapshot())
+	if err != nil {
+		t.Fatalf("Restore rejected a live snapshot: %v", err)
+	}
+	compareAccs(t, "immediately after restore", &twin, &restored)
+
+	for _, x := range ops {
+		twin.Add(x)
+		restored.Add(x)
+	}
+	twin.AddLdexp(-0x1p40, 512)
+	restored.AddLdexp(-0x1p40, 512)
+	compareAccs(t, "after further deposits", &twin, &restored)
+
+	var other Acc
+	other.AddSlice([]float64{1e300, -1e-300, 42})
+	twin.Merge(&other)
+	restored.Merge(&other)
+	compareAccs(t, "after merge", &twin, &restored)
+
+	// Float64 does not disturb the twin relationship (it normalizes).
+	_ = twin.Float64()
+	_ = restored.Float64()
+	compareAccs(t, "after rounding", &twin, &restored)
+
+	twin.Add(math.Inf(1))
+	restored.Add(math.Inf(1))
+	if !math.IsNaN(twin.Float64()) || !math.IsNaN(restored.Float64()) {
+		t.Fatal("poison did not propagate to both twins")
+	}
+}
+
+// TestSuperaccRestoreRejectsInvalid pins the validation envelope.
+func TestSuperaccRestoreRejectsInvalid(t *testing.T) {
+	var a Acc
+	a.Add(1)
+	good := a.Snapshot()
+	if _, err := Restore(good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Snapshot)
+	}{
+		{"negative pending", func(s *Snapshot) { s.Pending = -1 }},
+		{"pending at carry bound", func(s *Snapshot) { s.Pending = MaxPending }},
+		{"limb beyond schedule bound", func(s *Snapshot) { s.Limbs[3] = 1 << 62 }},
+		{"negative limb beyond bound", func(s *Snapshot) { s.Limbs[7] = -(1 << 62) }},
+	}
+	for _, tc := range cases {
+		s := good
+		tc.mut(&s)
+		if _, err := Restore(s); err == nil {
+			t.Errorf("%s: Restore accepted an invalid snapshot", tc.name)
+		}
+	}
+
+	// The envelope must admit the carry-schedule worst case: a limb at
+	// the exact bound for its pending count.
+	edge := good
+	edge.Pending = 5
+	edge.Limbs[10] = 1<<32 + 5*(1<<33)
+	if _, err := Restore(edge); err != nil {
+		t.Errorf("Restore rejected a limb at the carry-schedule bound: %v", err)
+	}
+}

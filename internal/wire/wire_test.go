@@ -1,0 +1,356 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/binned"
+	"repro/internal/gen"
+	"repro/internal/kernel"
+	"repro/internal/superacc"
+)
+
+// corpusInputs are the adversarial operand sets the round-trip corpus
+// states are built from: specials (NaN/±Inf/-0), denormals, huge
+// top-window values, cancellation, and a renorm-boundary bulk stream.
+func corpusInputs() [][]float64 {
+	bulk := make([]float64, binned.MaxPend+17) // crosses the BN carry schedule
+	for i := range bulk {
+		bulk[i] = float64(i%1009) * 0x1p-25
+	}
+	return [][]float64{
+		nil,
+		{0},
+		{math.Copysign(0, -1)},
+		{1, -1},
+		{0x1p-1074, -0x1p-1070, 0x1p-1040},
+		{math.Inf(1)},
+		{math.Inf(-1), math.Inf(-1)},
+		{math.Inf(1), math.Inf(-1)},
+		{math.NaN()},
+		{math.NaN(), 1, math.Inf(1)},
+		{0x1.fffffffffffffp1023, 0x1p1000, -0x1p990},
+		{0x1.fffffffffffffp1023, 0x1.fffffffffffffp1023}, // overflows finalize
+		gen.Spec{N: 5000, Cond: 1e12, DynRange: 40, Seed: 7}.Generate(),
+		gen.SumZeroSeries(4096, 32, 9),
+		bulk,
+	}
+}
+
+// binnedCorpus builds one BN state per corpus input (plus merged and
+// specials-heavy combinations).
+func binnedCorpus() []*binned.State {
+	var out []*binned.State
+	for _, xs := range corpusInputs() {
+		st := new(binned.State)
+		st.AddSlice(xs)
+		out = append(out, st)
+	}
+	merged := new(binned.State)
+	for _, st := range out {
+		merged.Merge(st)
+	}
+	out = append(out, merged)
+	return out
+}
+
+func superaccCorpus() []*superacc.Acc {
+	var out []*superacc.Acc
+	for _, xs := range corpusInputs() {
+		a := new(superacc.Acc)
+		a.AddSlice(xs)
+		out = append(out, a)
+	}
+	scaled := new(superacc.Acc)
+	scaled.AddLdexp(0x1.8p40, 512)
+	scaled.AddLdexp(-0x1p-30, 512)
+	out = append(out, scaled)
+	return out
+}
+
+func fusedCorpus() []kernel.FusedAcc {
+	var out []kernel.FusedAcc
+	for _, xs := range corpusInputs() {
+		out = append(out, kernel.FusedProfileSum(xs))
+	}
+	m := out[0]
+	for _, a := range out[1:] {
+		m = m.Merge(a)
+	}
+	return append(out, m)
+}
+
+// TestWireRoundTripBinned: encode→decode→re-encode is byte-identical
+// for every corpus state, and the decoded state is field-for-field the
+// original.
+func TestWireRoundTripBinned(t *testing.T) {
+	for i, st := range binnedCorpus() {
+		snap := st.Snapshot()
+		enc := AppendBinned(nil, &snap)
+		if len(enc) != EncodedSize(KindBinned) {
+			t.Fatalf("state %d: encoded %d bytes, want %d", i, len(enc), EncodedSize(KindBinned))
+		}
+		dec, n, err := DecodeBinned(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("state %d: decode failed: n=%d err=%v", i, n, err)
+		}
+		ds := dec.Snapshot()
+		if ds != snap {
+			// Bins with NaN payloads compare unequal via ==; fall back
+			// to the bit comparison.
+			if !snapshotsBitEqual(&ds, &snap) {
+				t.Fatalf("state %d: decoded snapshot differs", i)
+			}
+		}
+		if math.Float64bits(dec.Finalize()) != math.Float64bits(st.Finalize()) {
+			t.Fatalf("state %d: Finalize bits differ after round-trip", i)
+		}
+		re := AppendBinned(nil, &ds)
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("state %d: re-encode not byte-identical", i)
+		}
+	}
+}
+
+func snapshotsBitEqual(a, b *binned.Snapshot) bool {
+	for i := range a.Bins {
+		if math.Float64bits(a.Bins[i]) != math.Float64bits(b.Bins[i]) {
+			return false
+		}
+	}
+	return a.Count == b.Count && a.Pend == b.Pend &&
+		a.PosInf == b.PosInf && a.NegInf == b.NegInf && a.NaN == b.NaN
+}
+
+// TestWireRoundTripSuperacc mirrors the BN pin for the exact
+// superaccumulator.
+func TestWireRoundTripSuperacc(t *testing.T) {
+	for i, a := range superaccCorpus() {
+		snap := a.Snapshot()
+		enc := AppendSuperacc(nil, &snap)
+		if len(enc) != EncodedSize(KindSuperacc) {
+			t.Fatalf("acc %d: encoded %d bytes, want %d", i, len(enc), EncodedSize(KindSuperacc))
+		}
+		dec, n, err := DecodeSuperacc(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("acc %d: decode failed: n=%d err=%v", i, n, err)
+		}
+		ds := dec.Snapshot()
+		if ds != snap {
+			t.Fatalf("acc %d: decoded snapshot differs", i)
+		}
+		if math.Float64bits(dec.Float64()) != math.Float64bits(a.Float64()) {
+			t.Fatalf("acc %d: Float64 bits differ after round-trip", i)
+		}
+		// Float64 normalizes; re-snapshot the pristine decode.
+		dec2, _, _ := DecodeSuperacc(enc)
+		s2 := dec2.Snapshot()
+		re := AppendSuperacc(nil, &s2)
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("acc %d: re-encode not byte-identical", i)
+		}
+	}
+}
+
+// TestWireRoundTripFused mirrors the pin for the fused profile state.
+func TestWireRoundTripFused(t *testing.T) {
+	for i, a := range fusedCorpus() {
+		enc := AppendFused(nil, &a)
+		if len(enc) != EncodedSize(KindFused) {
+			t.Fatalf("acc %d: encoded %d bytes, want %d", i, len(enc), EncodedSize(KindFused))
+		}
+		dec, n, err := DecodeFused(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("acc %d: decode failed: n=%d err=%v", i, n, err)
+		}
+		re := AppendFused(nil, &dec)
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("acc %d: re-encode not byte-identical", i)
+		}
+		if math.Float64bits(dec.ST) != math.Float64bits(a.ST) ||
+			math.Float64bits(dec.SumS) != math.Float64bits(a.SumS) ||
+			math.Float64bits(dec.SumC) != math.Float64bits(a.SumC) {
+			t.Fatalf("acc %d: speculative sums differ after round-trip", i)
+		}
+	}
+}
+
+// TestWireMergePin: merging decoded states is bitwise-identical to
+// merging the in-memory originals — the property the aggregation
+// server's correctness rests on.
+func TestWireMergePin(t *testing.T) {
+	states := binnedCorpus()
+	for i := range states {
+		for j := range states {
+			ref := *states[i]
+			ref.Merge(states[j])
+
+			ei := AppendBinned(nil, ptrSnap(states[i]))
+			ej := AppendBinned(nil, ptrSnap(states[j]))
+			di, _, err := DecodeBinned(ei)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dj, _, err := DecodeBinned(ej)
+			if err != nil {
+				t.Fatal(err)
+			}
+			di.Merge(&dj)
+
+			rs, ds := ref.Snapshot(), di.Snapshot()
+			if !snapshotsBitEqual(&ds, &rs) {
+				t.Fatalf("merge(%d, %d): decoded merge differs from in-memory merge", i, j)
+			}
+			if math.Float64bits(ref.Finalize()) != math.Float64bits(di.Finalize()) {
+				t.Fatalf("merge(%d, %d): Finalize bits differ", i, j)
+			}
+		}
+	}
+
+	// Superacc merge pin over a smaller cross product.
+	accs := superaccCorpus()
+	for i := 0; i < len(accs); i += 3 {
+		for j := 1; j < len(accs); j += 4 {
+			ref := *accs[i]
+			arg := *accs[j] // Merge normalizes a copy; keep corpus pristine
+			ref.Merge(&arg)
+			si, sj := accs[i].Snapshot(), accs[j].Snapshot()
+			di, _, err := DecodeSuperacc(AppendSuperacc(nil, &si))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dj, _, err := DecodeSuperacc(AppendSuperacc(nil, &sj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			di.Merge(&dj)
+			if math.Float64bits(ref.Float64()) != math.Float64bits(di.Float64()) {
+				t.Fatalf("superacc merge(%d, %d): Float64 bits differ", i, j)
+			}
+		}
+	}
+
+	// Fused merge pin.
+	fused := fusedCorpus()
+	for i := 0; i < len(fused); i += 2 {
+		for j := 1; j < len(fused); j += 3 {
+			ref := fused[i].Merge(fused[j])
+			di, _, err := DecodeFused(AppendFused(nil, &fused[i]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dj, _, err := DecodeFused(AppendFused(nil, &fused[j]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := di.Merge(dj)
+			if AppendFused(nil, &got) == nil || !bytes.Equal(AppendFused(nil, &got), AppendFused(nil, &ref)) {
+				t.Fatalf("fused merge(%d, %d): decoded merge differs", i, j)
+			}
+		}
+	}
+}
+
+// TestWireRejectsTruncation: every proper prefix of a valid frame is
+// rejected with ErrTruncated — at every byte boundary, not just the
+// header.
+func TestWireRejectsTruncation(t *testing.T) {
+	var st binned.State
+	st.AddSlice([]float64{1, -2.5, 0x1p-1074, math.Inf(1)})
+	snap := st.Snapshot()
+	frames := [][]byte{AppendBinned(nil, &snap)}
+
+	var a superacc.Acc
+	a.Add(3.25)
+	as := a.Snapshot()
+	frames = append(frames, AppendSuperacc(nil, &as))
+
+	f := kernel.FusedProfileSum([]float64{1, 2, -3})
+	frames = append(frames, AppendFused(nil, &f))
+
+	for fi, frame := range frames {
+		for i := 0; i < len(frame); i++ {
+			if _, _, err := Peek(frame[:i]); err == nil {
+				t.Fatalf("frame %d: Peek accepted a %d-byte prefix of %d", fi, i, len(frame))
+			}
+			var err error
+			switch fi {
+			case 0:
+				_, _, err = DecodeBinned(frame[:i])
+			case 1:
+				_, _, err = DecodeSuperacc(frame[:i])
+			case 2:
+				_, _, err = DecodeFused(frame[:i])
+			}
+			if err == nil {
+				t.Fatalf("frame %d: decode accepted a %d-byte prefix of %d", fi, i, len(frame))
+			}
+		}
+	}
+}
+
+// TestWireRejectsCorruption: unknown versions and kinds, bad magic, a
+// disagreeing length field, non-canonical flag bytes, and invariant
+// violations are all rejected.
+func TestWireRejectsCorruption(t *testing.T) {
+	var st binned.State
+	st.AddSlice([]float64{1, 2, 3})
+	snap := st.Snapshot()
+	good := AppendBinned(nil, &snap)
+
+	mutate := func(mut func([]byte)) []byte {
+		b := bytes.Clone(good)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' })},
+		{"future version", mutate(func(b []byte) { b[4] = 2 })},
+		{"version zero", mutate(func(b []byte) { b[4] = 0 })},
+		{"unknown kind", mutate(func(b []byte) { b[5] = 99 })},
+		{"kind zero", mutate(func(b []byte) { b[5] = 0 })},
+		{"length field low", mutate(func(b []byte) { b[6] = 1; b[7] = 0 })},
+		{"length field high", mutate(func(b []byte) { b[6] = 0xff; b[7] = 0xff })},
+		{"non-canonical nan byte", mutate(func(b []byte) { b[len(b)-1] = 2 })},
+		{"negative count", mutate(func(b []byte) {
+			off := HeaderSize + binned.StateSlots*8
+			for i := 0; i < 8; i++ {
+				b[off+i] = 0xff
+			}
+		})},
+		{"forged pend", mutate(func(b []byte) {
+			off := HeaderSize + binned.StateSlots*8 + 8
+			b[off+3] = 0x7f // pend ~ 2^27+ >= MaxPend
+		})},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeBinned(tc.b); err == nil {
+			t.Errorf("%s: DecodeBinned accepted corrupt frame", tc.name)
+		}
+	}
+
+	// A kind mismatch against the typed decoder is rejected even though
+	// the frame itself is valid.
+	var acc superacc.Acc
+	acc.Add(1)
+	as := acc.Snapshot()
+	saFrame := AppendSuperacc(nil, &as)
+	if _, _, err := DecodeBinned(saFrame); err == nil {
+		t.Error("DecodeBinned accepted a superacc frame")
+	}
+	if _, _, err := DecodeSuperacc(good); err == nil {
+		t.Error("DecodeSuperacc accepted a binned frame")
+	}
+	if _, _, err := DecodeFused(good); err == nil {
+		t.Error("DecodeFused accepted a binned frame")
+	}
+}
+
+func ptrSnap(st *binned.State) *binned.Snapshot {
+	s := st.Snapshot()
+	return &s
+}

@@ -31,6 +31,7 @@ package repro
 import (
 	"os"
 
+	"repro/internal/aggsrv"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
@@ -232,3 +233,30 @@ func CondNumber(xs []float64) float64 { return metrics.CondNumber(xs) }
 // DynRange returns the binary dynamic range of xs (largest minus
 // smallest binary exponent over the nonzero values).
 func DynRange(xs []float64) int { return metrics.DynRange(xs) }
+
+// AggClient is a connection to a reduction-as-a-service aggregation
+// server (see cmd/reprosumd). Deposits stream into named server-side
+// binned accumulators; because deposits and merges are exact, the
+// snapshot bits of every key are invariant under arrival order,
+// connection count, and batch sizing. A client is not safe for
+// concurrent use — give each goroutine its own.
+type AggClient = aggsrv.Client
+
+// AggSnapshot is a consistent point-in-time view of one server-side
+// accumulator: the correctly rounded value, the deposit count, and the
+// canonical reprostate v1 wire encoding of the state.
+type AggSnapshot = aggsrv.Snapshot
+
+// AggServerConfig parameterizes NewAggServer; the zero value is usable.
+type AggServerConfig = aggsrv.Config
+
+// AggServer is an embeddable reduction-as-a-service endpoint, the same
+// engine cmd/reprosumd wraps.
+type AggServer = aggsrv.Server
+
+// DialAggregator connects to an aggregation server at addr.
+func DialAggregator(addr string) (*AggClient, error) { return aggsrv.Dial(addr) }
+
+// NewAggServer constructs an aggregation server; call its Serve or
+// ListenAndServe to start accepting deposits.
+func NewAggServer(cfg AggServerConfig) *AggServer { return aggsrv.New(cfg) }
